@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure, table or numeric claim of the paper
+(see the experiment index in ``DESIGN.md``).  Each test
+
+1. runs the corresponding experiment driver once, asserts the *qualitative
+   shape* the paper reports (who wins, monotone separation, crossover
+   positions), and prints the numeric series via the reporting helpers so the
+   captured output documents the reproduced values, and
+2. uses ``pytest-benchmark`` to time the computational kernel, so the harness
+   doubles as a performance regression suite.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (timings) or additionally
+``-s`` to see the reproduced series on stdout.  Each run also appends the
+printed tables to ``benchmarks/results/`` as CSV for re-plotting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmarks drop their CSV series."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,63 @@
+"""Figure 1 — average miss-ratio curve by inversion number (S_5).
+
+Paper: Section IV-E, Figure 1.  The averaged curves separate cleanly by
+inversion number, with the identity (cyclic) on top and the sawtooth at the
+bottom, and the separation loses convexity near the maximum level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    fig1_monotone_violations,
+    format_curve_family,
+    run_fig1_mrc_by_inversion,
+    write_csv,
+)
+
+
+def _assert_fig1_shape(result: dict) -> None:
+    # Clean separation: no level crosses a lower level anywhere.
+    assert fig1_monotone_violations(result) == 0
+    levels = result["levels"]
+    curves = result["curves"]
+    # identity level is flat at 1.0 before the full-footprint cache size
+    assert curves[0][:-1] == [1.0] * (len(result["cache_sizes"]) - 1)
+    # sawtooth level decreases linearly to the compulsory-miss floor of 0.5
+    top = levels[-1]
+    diffs = np.diff(curves[top])
+    assert np.allclose(diffs, diffs[0])
+    assert curves[top][-1] == 0.5
+
+
+def test_fig1_average_mrc_by_inversion_s5(benchmark, results_dir):
+    result = benchmark(run_fig1_mrc_by_inversion, 5)
+    _assert_fig1_shape(result)
+
+    curves = {f"ell={ell}": result["curves"][ell] for ell in result["levels"]}
+    print()
+    print(
+        format_curve_family(
+            "cache_size",
+            result["cache_sizes"],
+            curves,
+            title="Figure 1 — average miss ratio by inversion number (S_5, full-trace convention)",
+        )
+    )
+    rows = [
+        {"cache_size": c, **{name: series[i] for name, series in curves.items()}}
+        for i, c in enumerate(result["cache_sizes"])
+    ]
+    write_csv(results_dir / "fig1_s5.csv", rows)
+
+
+def test_fig1_average_mrc_by_inversion_s6(benchmark, results_dir):
+    # the paper notes the trend continues for larger groups
+    result = benchmark(run_fig1_mrc_by_inversion, 6)
+    _assert_fig1_shape(result)
+    rows = [
+        {"cache_size": c, **{f"ell={ell}": result["curves"][ell][i] for ell in result["levels"]}}
+        for i, c in enumerate(result["cache_sizes"])
+    ]
+    write_csv(results_dir / "fig1_s6.csv", rows)

@@ -1,0 +1,37 @@
+"""Figure 2 — arbitrary choices faced by ChainFind vs. group size.
+
+Paper: Section V-B, Figure 2.  With the miss-ratio labeling λ_e the greedy
+chain is not unique; the number of steps with an arbitrary choice grows with
+the group size (roughly linearly), so λ_e is not a good labeling.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, run_fig2_chainfind_ties, write_csv
+from repro.core import max_inversions
+
+SIZES = (3, 4, 5, 6, 7, 8)
+
+
+def test_fig2_chainfind_arbitrary_choices(benchmark, results_dir):
+    rows = benchmark(run_fig2_chainfind_ties, SIZES)
+
+    # chains are saturated all the way to the sawtooth
+    for row in rows:
+        assert row["chain_length"] == max_inversions(row["m"])
+        assert row["chain_multiplicity"] >= 1
+
+    # the count of arbitrary choices grows (non-strictly) with m and is
+    # strictly larger at the top of the range — the Figure 2 trend
+    ties = [row["arbitrary_choices"] for row in rows]
+    assert all(b >= a for a, b in zip(ties, ties[1:]))
+    assert ties[-1] > ties[0]
+
+    print()
+    print(
+        format_table(
+            rows,
+            title="Figure 2 — ChainFind arbitrary choices vs. group size (labeling λ_e)",
+        )
+    )
+    write_csv(results_dir / "fig2_chainfind_ties.csv", rows)

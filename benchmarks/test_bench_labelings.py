@@ -1,0 +1,46 @@
+"""Problem 3 exploration — candidate edge labelings and their tie behaviour.
+
+The paper reports trying labelings derived from timescale locality and data
+movement complexity while searching for an EL-labeling "dependent precisely on
+locality", without success.  This benchmark reruns that exploration: ChainFind
+under the miss-ratio labeling λ_e, the ranked variant λ_ψ, the footprint
+(timescale) labeling, the data-movement labeling and the total-reuse control,
+reporting the arbitrary choices each leaves open.  The qualitative outcome the
+paper states — none of the locality-derived labelings is a good labeling —
+must reproduce.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, write_csv
+from repro.core import compare_labelings, max_inversions
+
+
+def test_locality_derived_labelings_all_leave_ties(benchmark, results_dir):
+    rows = benchmark(compare_labelings, 7)
+
+    for row in rows:
+        assert row["chain_length"] == max_inversions(7)
+        assert row["reaches_top"]
+        # the paper's conclusion: every locality-derived labeling leaves
+        # arbitrary choices open
+        assert row["arbitrary_choices"] > 0
+
+    by_name = {row["labeling"]: row for row in rows}
+    # the aggregate control is the worst offender — it can never break a tie
+    control = by_name["total_reuse (control)"]
+    assert all(control["arbitrary_choices"] >= row["arbitrary_choices"] for row in rows)
+
+    print()
+    print(format_table(rows, title="ChainFind tie statistics under candidate labelings (S_7, Bruhat moves)"))
+    write_csv(results_dir / "labelings_s7.csv", rows)
+
+
+def test_weak_move_restriction_preserves_ties(benchmark, results_dir):
+    rows = benchmark(compare_labelings, 7, moves="weak")
+    for row in rows:
+        assert row["chain_length"] == max_inversions(7)
+        assert row["reaches_top"]
+    print()
+    print(format_table(rows, title="Same comparison restricted to adjacent-swap (weak-order) moves"))
+    write_csv(results_dir / "labelings_s7_weak.csv", rows)

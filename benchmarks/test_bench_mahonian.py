@@ -1,0 +1,41 @@
+"""Appendix VIII-F — Mahonian numbers and hit-vector integer partitions.
+
+Reproduces the observations that (a) the number of permutations at each
+inversion level is the Mahonian number, and (b) every attainable cache-hit
+vector at level ``n`` corresponds to an integer partition of ``n`` with parts
+at most ``m - 1``.  The per-partition multiplicities (the paper's open
+problem) are reported empirically.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, run_mahonian_partitions, write_csv
+from repro.core import mahonian_row, partition_counts_at_level
+
+
+def test_mahonian_partition_characterisation(benchmark, results_dir):
+    result = benchmark(run_mahonian_partitions, 6)
+
+    assert result["mahonian_row"] == list(mahonian_row(6))
+    for level in result["levels"]:
+        assert level["permutations_enumerated"] == level["mahonian"]
+        assert level["all_hit_vectors_are_partitions"]
+        assert level["distinct_hit_vectors"] <= level["partitions_of_level"]
+
+    print()
+    print(format_table(result["levels"], title="S_6 — Mahonian counts and hit-vector partitions per inversion level"))
+    write_csv(results_dir / "mahonian_s6.csv", result["levels"])
+
+
+def test_partition_multiplicities_open_problem_sample(benchmark, results_dir):
+    # the open problem: how many permutations realise each partition; report
+    # the empirical counts for a middle level of S_6
+    counts = benchmark(partition_counts_at_level, 6, 7)
+    rows = [
+        {"partition": "+".join(map(str, part)) or "0", "permutations": count}
+        for part, count in sorted(counts.items())
+    ]
+    assert sum(r["permutations"] for r in rows) == mahonian_row(6)[7]
+    print()
+    print(format_table(rows, title="S_6, level 7 — permutations per hit-vector partition (open problem, empirical)"))
+    write_csv(results_dir / "mahonian_s6_level7_partitions.csv", rows)

@@ -1,0 +1,44 @@
+"""Appendix VIII-F — integral of the normalised truncated miss vector.
+
+The integral is constant within an inversion level and drops linearly from 1
+(identity) to 0.5 (sawtooth) with slope ``1 / (m(m-1))`` per inversion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table, run_miss_integral, write_csv
+from repro.core import random_permutation, truncated_miss_integral
+
+
+def test_miss_integral_linear_drop(benchmark, results_dir):
+    result = benchmark(run_miss_integral, 6)
+
+    assert result["per_inversion_drop"] == pytest.approx(result["expected_drop"])
+    rows = result["rows"]
+    assert rows[0]["integral_mean"] == pytest.approx(1.0)
+    assert rows[-1]["integral_mean"] == pytest.approx(0.5)
+    for row in rows:
+        assert row["integral_spread"] < 1e-9
+        assert row["integral_mean"] == pytest.approx(row["closed_form"])
+
+    print()
+    print(format_table(rows, title="S_6 — integral of normalised truncated miss vector by inversion level"))
+    print(f"drop per inversion: {result['per_inversion_drop']:.6f} (expected {result['expected_drop']:.6f})")
+    write_csv(results_dir / "miss_integral_s6.csv", rows)
+
+
+def test_miss_integral_closed_form_large_m(benchmark, results_dir):
+    # spot-check the closed form on random permutations of a large group
+    benchmark(truncated_miss_integral, random_permutation(1024, rng=0))
+    rows = []
+    for m in (64, 256, 1024):
+        sigma = random_permutation(m, rng=m)
+        measured = truncated_miss_integral(sigma)
+        expected = 1.0 - sigma.inversions() / (m * (m - 1))
+        assert measured == pytest.approx(expected)
+        rows.append({"m": m, "inversions": sigma.inversions(), "integral": measured, "closed_form": expected})
+    print()
+    print(format_table(rows, title="Truncated-miss integral closed form at large m"))
+    write_csv(results_dir / "miss_integral_large_m.csv", rows)

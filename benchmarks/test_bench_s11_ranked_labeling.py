@@ -1,0 +1,34 @@
+"""Section V-B.2 numeric example — ranked miss-ratio labeling on S_11.
+
+The paper slides the ``hits_10`` component to the front of the comparison
+order (ψ = (1 10 9 8 7 6 5 4 3 2)) and observes that the ranked labeling does
+not eliminate arbitrary choices.  We reproduce the chain construction for both
+labelings and report the tie statistics.  (The paper's reported chain length
+of 66 is inconsistent with S_11, whose saturated chains have 55 steps; see the
+discrepancy list in DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, run_s11_ranked_labeling, write_csv
+from repro.core import max_inversions
+
+
+def test_s11_ranked_vs_plain_labeling(benchmark, results_dir):
+    result = benchmark(run_s11_ranked_labeling, 11)
+
+    assert result["chain_length"] == max_inversions(11) == 55
+    assert result["lambda_e"]["reaches_top"]
+    assert result["lambda_psi"]["reaches_top"]
+    # the paper's point: neither labeling removes the arbitrary choices
+    assert result["lambda_e"]["arbitrary_choices"] > 0
+    assert result["lambda_psi"]["arbitrary_choices"] > 0
+
+    rows = [
+        {"labeling": "lambda_e", **result["lambda_e"]},
+        {"labeling": "lambda_psi", **{k: v for k, v in result["lambda_psi"].items() if k != "psi"}},
+    ]
+    print()
+    print(format_table(rows, title=f"S_11 chain (length {result['chain_length']}) — tie statistics"))
+    print(f"psi (1-indexed comparison order) = {result['lambda_psi']['psi']}")
+    write_csv(results_dir / "s11_ranked_labeling.csv", rows)

@@ -1,0 +1,28 @@
+"""Canonical re-traversals — the sawtooth/cyclic hit vectors of Section III.
+
+Reproduces ``hits_C(sawtooth4) = (1, 2, 3, 4)``, the zero hit vector of the
+cyclic order below the full footprint, and their total-reuse formulas across a
+range of sizes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, run_sawtooth_cyclic, write_csv
+
+SIZES = (4, 8, 16, 64, 256, 1024)
+
+
+def test_sawtooth_and_cyclic_canonical_values(benchmark, results_dir):
+    rows = benchmark(run_sawtooth_cyclic, SIZES)
+
+    for row in rows:
+        m = row["m"]
+        assert row["sawtooth_hits_first4"] == [1, 2, 3, 4][: min(4, m)]
+        assert row["cyclic_hits_below_m"] == 0
+        assert row["sawtooth_total_reuse"] == m * (m + 1) // 2
+        assert row["cyclic_total_reuse"] == m * m
+        assert row["sawtooth_inversions"] == m * (m - 1) // 2
+
+    print()
+    print(format_table(rows, title="Sawtooth vs cyclic re-traversals (Section III example, scaled)"))
+    write_csv(results_dir / "sawtooth_cyclic.csv", rows)

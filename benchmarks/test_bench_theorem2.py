@@ -1,0 +1,32 @@
+"""Theorem 2 / Corollary 1 — the Bruhat-locality identity at scale.
+
+``Σ_{c<m} hits_c(σ) = ℓ(σ)`` is checked exactly on random permutations up to
+m = 4096, and the Algorithm-1 kernel (closed-form hit vector computation) is
+timed — it is the inner loop of every other experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table, run_theorem2_random, write_csv
+from repro.core import cache_hit_vector, random_permutation
+
+SIZES = (16, 64, 256, 1024, 4096)
+
+
+def test_theorem2_random_permutations(benchmark, results_dir):
+    rows = benchmark(run_theorem2_random, SIZES, trials=3, rng=7)
+    assert all(row["max_deviation"] == 0 for row in rows)
+
+    print()
+    print(format_table(rows, title="Theorem 2 / Corollary 1 deviation on random permutations (0 = exact)"))
+    write_csv(results_dir / "theorem2_random.csv", rows)
+
+
+def test_algorithm1_kernel_throughput(benchmark):
+    sigma = random_permutation(4096, rng=3)
+    vec = benchmark(cache_hit_vector, sigma)
+    assert vec.size == 4096
+    assert int(vec[-1]) == 4096
+    assert np.all(np.diff(vec) >= 0)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Transformer example: head-order scheduling for multi-head attention.
+
+The paper singles out the key/value/projection matrices of attention as
+candidates for symmetric-locality scheduling: heads commute (the output sums
+over heads), so the order in which their parameter blocks are traversed is
+free.  This example
+
+1. builds a NumPy multi-head attention block and verifies numerically that the
+   head processing order does not change its output,
+2. compares the cyclic head order against the Theorem-4 alternation (natural
+   order on even passes, reversed on odd passes) across repeated passes,
+3. also evaluates a graph-reordering scenario (Section VI-C): message passing
+   over a random graph before and after a locality-improving relabelling.
+
+Run with:  python examples/attention_schedule.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Permutation
+from repro.analysis import format_table
+from repro.cache import LRUCache, mrc_from_trace
+from repro.ml import (
+    RandomGraph,
+    TracedAttention,
+    bfs_order,
+    degree_order,
+    message_passing_trace,
+    reverse_cuthill_mckee_order,
+)
+from repro.trace import locality_score
+
+
+def attention_part() -> None:
+    attention = TracedAttention(d_model=256, num_heads=8, granularity=64, rng=0)
+    x = np.random.default_rng(1).standard_normal((32, 256))
+
+    out_natural = attention.forward(x)
+    out_reversed = attention.forward(x, head_order=Permutation.reverse(8))
+    print(f"Attention output difference between head orders: "
+          f"{np.abs(out_natural - out_reversed).max():.2e}  (heads commute)\n")
+
+    passes = 6
+    naive = attention.access_trace(passes)
+    alternating = attention.access_trace(
+        passes, head_schedule=[None if p % 2 == 0 else Permutation.reverse(8) for p in range(passes)]
+    )
+    rows = []
+    for fraction in (0.25, 0.5, 0.75):
+        capacity = max(1, int(fraction * attention.num_weight_items))
+        rows.append(
+            {
+                "cache / weights": f"{fraction:.2f}",
+                "cyclic head order": LRUCache(capacity).run(naive).miss_ratio,
+                "alternating head order": LRUCache(capacity).run(alternating).miss_ratio,
+            }
+        )
+    print(format_table(rows, title=f"Attention parameter traversal, {passes} passes, 8 heads, d_model=256"))
+    print()
+
+
+def graph_part() -> None:
+    graph = RandomGraph(200, avg_degree=8, rng=3)
+    orderings = {
+        "original labels": None,
+        "degree order": degree_order(graph),
+        "BFS order": bfs_order(graph),
+        "reverse Cuthill-McKee": reverse_cuthill_mckee_order(graph),
+    }
+    rows = []
+    for name, order in orderings.items():
+        relabelled = graph if order is None else graph.relabelled(order)
+        trace = message_passing_trace(relabelled, rounds=2)
+        curve = mrc_from_trace(trace.accesses)
+        rows.append(
+            {
+                "node ordering": name,
+                "locality score": locality_score(trace),
+                "mr @ 10% of nodes": curve[max(1, graph.num_nodes // 10)],
+                "mr @ 25% of nodes": curve[max(1, graph.num_nodes // 4)],
+            }
+        )
+    print(format_table(rows, title="GNN message passing (200 nodes, avg degree 8): node reordering effect"))
+
+
+def main() -> None:
+    attention_part()
+    graph_part()
+
+
+if __name__ == "__main__":
+    main()

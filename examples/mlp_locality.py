@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Deep-learning example: Theorem-4 traversal scheduling for MLP parameters.
+
+Section VI-A of the paper proposes exploiting permutation equivariance to
+re-order the traversal of a model's weights on alternate passes: forward in
+the natural order, backward in the reversed (sawtooth) order, and so on.  This
+example
+
+1. builds a real NumPy MLP (:class:`repro.ml.TracedMLP`) and confirms that the
+   weight-space permutation leaves the computed function unchanged,
+2. generates the parameter-access traces of several training steps under the
+   naive cyclic schedule and the Theorem-4 alternating schedule,
+3. measures both with an LRU cache sweep and a two-level cache hierarchy,
+4. reproduces the paper's ``(nm)²`` vs ``nm(nm+1)/2`` total-reuse comparison.
+
+Run with:  python examples/mlp_locality.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Permutation, alternating_schedule, matrix_traversal_costs
+from repro.analysis import format_table
+from repro.cache import CacheHierarchy, LRUCache
+from repro.ml import TracedMLP, hidden_unit_permutation_invariant
+from repro.core import random_permutation
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    layer_sizes = [64, 128, 32]
+    mlp = TracedMLP(layer_sizes, granularity=16, rng=rng)
+    m = mlp.num_weight_items
+    print(f"MLP {layer_sizes}: {m} weight blocks of 16 weights each\n")
+
+    # 1. Permutation equivariance licenses the re-ordering --------------------
+    sigma_hidden = random_permutation(layer_sizes[1], rng)
+    ok = hidden_unit_permutation_invariant(mlp.weights[0], mlp.weights[1], sigma_hidden, rng=rng)
+    print(f"Hidden-unit permutation leaves the network function unchanged: {ok}")
+    x = rng.standard_normal((16, layer_sizes[0]))
+    y = rng.standard_normal((16, layer_sizes[-1]))
+    out_before = mlp.forward(x).output.copy()
+    mlp.permute_hidden_units(0, sigma_hidden)
+    out_after = mlp.forward(x).output
+    print(f"Max output difference after physically permuting the hidden layer: "
+          f"{np.abs(out_before - out_after).max():.2e}\n")
+
+    # 2. Parameter traces under the two schedules ------------------------------
+    steps = 4
+    naive_trace = mlp.training_trace(x, y, steps=steps)
+    schedule = alternating_schedule(Permutation.reverse(m), 2 * steps)
+    optimised_trace = mlp.training_trace(x, y, steps=steps, schedule=schedule)
+    print(f"{steps} training steps => {len(naive_trace)} parameter-block accesses per schedule\n")
+
+    # 3. LRU sweep + hierarchy --------------------------------------------------
+    rows = []
+    for fraction in (0.25, 0.5, 0.75, 1.0):
+        capacity = max(1, int(fraction * m))
+        naive_mr = LRUCache(capacity).run(naive_trace).miss_ratio
+        optim_mr = LRUCache(capacity).run(optimised_trace).miss_ratio
+        rows.append(
+            {
+                "cache / footprint": f"{fraction:.2f}",
+                "cyclic miss ratio": naive_mr,
+                "alternating miss ratio": optim_mr,
+                "improvement": naive_mr - optim_mr,
+            }
+        )
+    print(format_table(rows, title="LRU miss ratio of the parameter trace (lower is better)"))
+    print()
+
+    levels = [max(m // 8, 1), max(m // 2, 2)]
+    h_naive = CacheHierarchy(levels)
+    h_naive.run(naive_trace)
+    h_optim = CacheHierarchy(levels)
+    h_optim.run(optimised_trace)
+    print(f"Two-level hierarchy {levels}: AMAT cyclic = {h_naive.amat():.1f}, "
+          f"alternating = {h_optim.amat():.1f} (arbitrary latency units)\n")
+
+    # 4. The paper's closed-form comparison ------------------------------------
+    rows = []
+    for n, k in [(64, 128), (128, 32)]:
+        costs = matrix_traversal_costs(n, k)
+        rows.append(
+            {
+                "weight matrix": f"{n}x{k}",
+                "cyclic total reuse": costs["cyclic"],
+                "sawtooth total reuse": costs["sawtooth"],
+                "savings": f"{costs['savings_ratio']:.3f}x",
+            }
+        )
+    print(format_table(rows, title="Closed-form total reuse per layer (Section VI-A2)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Trace-level analysis: measuring workloads that are not pure re-traversals.
+
+The symmetric-locality theory covers periodic traces ``A σ(A)``; real traces
+reuse data arbitrarily often (the Section VI-D limitation).  This example uses
+the trace substrate to analyse several synthetic workloads end to end:
+
+1. generate STREAM, naive and tiled matrix-multiply, stencil and Zipfian
+   traces,
+2. write / re-read them from trace files (the usual tooling workflow),
+3. compute their reuse statistics, miss-ratio curves and locality scores,
+4. compare LRU against FIFO and the Belady-OPT oracle at a fixed cache size,
+5. show where each workload sits between the cyclic (0) and sawtooth (1)
+   extremes of the symmetric-locality spectrum.
+
+Run with:  python examples/trace_analysis.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis import format_table
+from repro.cache import FIFOCache, LRUCache, mrc_from_trace, simulate_opt
+from repro.trace import (
+    Trace,
+    locality_score,
+    matrix_multiply_blocked,
+    matrix_multiply_ijk,
+    read_text,
+    stencil_sweeps,
+    stream_copy,
+    summarize,
+    write_text,
+    zipfian_trace,
+)
+
+
+def build_workloads() -> dict[str, Trace]:
+    return {
+        "stream_copy (2 reps)": stream_copy(256, repetitions=2),
+        "matmul 12x12 naive": matrix_multiply_ijk(12),
+        "matmul 12x12 tiled": matrix_multiply_blocked(12, 4),
+        "stencil fwd sweeps": stencil_sweeps(128, 4, reverse_odd=False),
+        "stencil zigzag sweeps": stencil_sweeps(128, 4, reverse_odd=True),
+        "zipf(1.0)": zipfian_trace(4000, 256, exponent=1.0, rng=0),
+    }
+
+
+def main() -> None:
+    workloads = build_workloads()
+
+    # 1. Round-trip through trace files ----------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        reread = {}
+        for name, trace in workloads.items():
+            path = Path(tmp) / f"{name.split()[0]}.trace"
+            write_text(trace, path)
+            reread[name] = read_text(path)
+        workloads = reread
+    print(f"Loaded {len(workloads)} workload traces from disk.\n")
+
+    # 2. Descriptive statistics --------------------------------------------------
+    rows = []
+    for name, trace in workloads.items():
+        stats = summarize(trace)
+        rows.append(
+            {
+                "workload": name,
+                "accesses": stats.accesses,
+                "footprint": stats.footprint,
+                "reuse fraction": stats.reuse_fraction(),
+                "mean stack distance": stats.mean_stack_distance,
+                "locality score": locality_score(trace),
+            }
+        )
+    print(format_table(rows, title="Workload reuse statistics (locality score: 0 = cyclic, 1 = sawtooth)"))
+    print()
+
+    # 3. Miss-ratio curves sampled at a few cache sizes --------------------------
+    rows = []
+    for name, trace in workloads.items():
+        curve = mrc_from_trace(trace.accesses)
+        footprint = trace.footprint
+        rows.append(
+            {
+                "workload": name,
+                "mr @ 12.5%": curve[max(1, footprint // 8)],
+                "mr @ 50%": curve[max(1, footprint // 2)],
+                "mr @ 100%": curve[footprint],
+                "footprint for mr<=0.2": curve.footprint(0.2) or "-",
+            }
+        )
+    print(format_table(rows, title="LRU miss ratios at fractions of the footprint"))
+    print()
+
+    # 4. Policy comparison at half the footprint ---------------------------------
+    rows = []
+    for name, trace in workloads.items():
+        capacity = max(1, trace.footprint // 2)
+        lru = LRUCache(capacity).run(trace).miss_ratio
+        fifo = FIFOCache(capacity).run(trace).miss_ratio
+        opt = simulate_opt(trace.accesses, capacity).miss_ratio
+        rows.append({"workload": name, "cache": capacity, "OPT": opt, "LRU": lru, "FIFO": fifo})
+    print(format_table(rows, title="Replacement-policy comparison at cache = footprint/2"))
+    print()
+
+    print(
+        "Observations: STREAM sits at the cyclic end (no reuse within a pass);\n"
+        "tiling the matrix multiply and zig-zagging the stencil shorten reuse\n"
+        "distances exactly as the symmetric-locality model predicts for\n"
+        "sawtooth-style re-traversals."
+    )
+
+
+if __name__ == "__main__":
+    main()

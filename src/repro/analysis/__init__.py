@@ -1,0 +1,48 @@
+"""Experiment drivers, poset statistics and reporting utilities."""
+
+from .experiments import (
+    fig1_monotone_violations,
+    run_feasibility_ablation,
+    run_fig1_mrc_by_inversion,
+    run_fig2_chainfind_ties,
+    run_mahonian_partitions,
+    run_matrix_reuse,
+    run_miss_integral,
+    run_ml_schedule,
+    run_policy_ablation,
+    run_s11_ranked_labeling,
+    run_sawtooth_cyclic,
+    run_theorem2_random,
+)
+from .poset_stats import (
+    cover_degree_by_rank,
+    expected_cover_degree,
+    rank_generating_function,
+    saturated_chain_count_identity_to_top,
+    whitney_numbers,
+)
+from .reporting import format_curve_family, format_series, format_table, write_csv
+
+__all__ = [
+    "fig1_monotone_violations",
+    "run_feasibility_ablation",
+    "run_fig1_mrc_by_inversion",
+    "run_fig2_chainfind_ties",
+    "run_mahonian_partitions",
+    "run_matrix_reuse",
+    "run_miss_integral",
+    "run_ml_schedule",
+    "run_policy_ablation",
+    "run_s11_ranked_labeling",
+    "run_sawtooth_cyclic",
+    "run_theorem2_random",
+    "cover_degree_by_rank",
+    "expected_cover_degree",
+    "rank_generating_function",
+    "saturated_chain_count_identity_to_top",
+    "whitney_numbers",
+    "format_curve_family",
+    "format_series",
+    "format_table",
+    "write_csv",
+]

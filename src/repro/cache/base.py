@@ -1,0 +1,114 @@
+"""Common interface for the cache simulators.
+
+The paper's theory assumes a fully-associative LRU cache; the simulators in
+this subpackage exist both to *validate* the closed-form results of
+:mod:`repro.core.hits` against an independent, access-by-access model and to
+*stress* the LRU assumption (Section VI-E limitations) by replaying the same
+traces under FIFO, Belady-OPT, random replacement, set-associative mappings
+and multi-level hierarchies.
+
+Every simulator implements :class:`CacheModel`: feed it accesses one at a time
+(or a whole trace) and read the aggregate :class:`CacheStats`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._util import check_positive_int
+
+__all__ = ["CacheStats", "CacheModel", "simulate_trace"]
+
+
+@dataclass
+class CacheStats:
+    """Aggregate hit/miss counters of one simulation run."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    per_item_hits: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses that hit (0 when the trace is empty)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Fraction of accesses that miss (0 when the trace is empty)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def record(self, item: int, hit: bool) -> None:
+        """Account one access to ``item``."""
+        self.accesses += 1
+        if hit:
+            self.hits += 1
+            self.per_item_hits[item] = self.per_item_hits.get(item, 0) + 1
+        else:
+            self.misses += 1
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Combine two stats objects (e.g. across hierarchy levels or trace segments)."""
+        merged = CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            per_item_hits=dict(self.per_item_hits),
+        )
+        for item, count in other.per_item_hits.items():
+            merged.per_item_hits[item] = merged.per_item_hits.get(item, 0) + count
+        return merged
+
+
+class CacheModel(ABC):
+    """A single cache with a fixed capacity and a replacement policy.
+
+    Subclasses implement :meth:`access`; the base class provides trace replay,
+    statistics and a uniform ``reset`` protocol.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = check_positive_int(capacity, "capacity")
+        self.stats = CacheStats()
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short human-readable policy name (used in reports)."""
+
+    @abstractmethod
+    def access(self, item: int) -> bool:
+        """Access ``item``; return ``True`` on a hit and update internal state."""
+
+    @abstractmethod
+    def contents(self) -> set[int]:
+        """The set of items currently resident."""
+
+    def reset(self) -> None:
+        """Clear the cache contents and statistics."""
+        self.stats = CacheStats()
+        self._reset_state()
+
+    @abstractmethod
+    def _reset_state(self) -> None:
+        """Clear policy-specific state (called by :meth:`reset`)."""
+
+    def run(self, trace: Iterable[int]) -> CacheStats:
+        """Replay an entire trace through the cache and return the statistics."""
+        for item in trace:
+            hit = self.access(int(item))
+            self.stats.record(int(item), hit)
+        return self.stats
+
+
+def simulate_trace(model: CacheModel, trace: Sequence[int] | np.ndarray) -> CacheStats:
+    """Reset ``model``, replay ``trace`` and return the resulting statistics."""
+    model.reset()
+    return model.run(np.asarray(trace).tolist())

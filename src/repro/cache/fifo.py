@@ -1,0 +1,43 @@
+"""Fully-associative FIFO cache.
+
+FIFO evicts the item that has been resident longest regardless of how recently
+it was used.  It is included as a baseline for the policy-sensitivity ablation:
+the paper's locality ordering is derived for LRU, and FIFO shows how much of
+the ordering survives under a recency-blind policy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .base import CacheModel
+
+__all__ = ["FIFOCache"]
+
+
+class FIFOCache(CacheModel):
+    """Fully-associative cache with first-in-first-out replacement."""
+
+    def __init__(self, capacity: int):
+        super().__init__(capacity)
+        self._entries: OrderedDict[int, None] = OrderedDict()
+
+    @property
+    def name(self) -> str:
+        return "fifo"
+
+    def access(self, item: int) -> bool:
+        entries = self._entries
+        if item in entries:
+            return True  # no recency update: insertion order is preserved
+        if len(entries) >= self.capacity:
+            entries.popitem(last=False)
+            self.stats.evictions += 1
+        entries[item] = None
+        return False
+
+    def contents(self) -> set[int]:
+        return set(self._entries)
+
+    def _reset_state(self) -> None:
+        self._entries = OrderedDict()

@@ -1,0 +1,110 @@
+"""Miss-ratio curves for arbitrary traces.
+
+``MRC(T)`` (Definition 2) maps each cache size to the miss ratio of the trace
+under a fully-associative LRU cache.  This module builds the curve either in
+one pass from stack distances (exact, the default) or by independently
+simulating each cache size with :class:`repro.cache.lru.LRUCache` (slow; used
+as a cross-check in the test-suite).
+
+It also provides convenience wrappers for the paper's periodic traces so the
+closed-form curves of :func:`repro.core.hits.miss_ratio_curve` can be compared
+against trace-level measurement, and an element-wise averaging helper used by
+the Figure 1 experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .lru import LRUCache
+from .stack_distance import hit_counts
+
+__all__ = [
+    "MissRatioCurve",
+    "mrc_from_trace",
+    "mrc_by_simulation",
+    "average_curves",
+]
+
+
+@dataclass(frozen=True)
+class MissRatioCurve:
+    """A miss-ratio curve: ``ratios[c - 1]`` is the miss ratio at cache size ``c``.
+
+    The curve is monotonically non-increasing for LRU (a larger cache never
+    hurts, by the stack inclusion property).
+    """
+
+    ratios: tuple[float, ...]
+    accesses: int
+
+    @property
+    def max_cache_size(self) -> int:
+        return len(self.ratios)
+
+    def __getitem__(self, cache_size: int) -> float:
+        """Miss ratio at a given cache size (sizes beyond the curve reuse the last value)."""
+        if cache_size < 1:
+            raise ValueError(f"cache size must be >= 1, got {cache_size}")
+        index = min(cache_size, len(self.ratios)) - 1
+        return self.ratios[index]
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.ratios, dtype=np.float64)
+
+    def footprint(self, target_miss_ratio: float) -> int | None:
+        """Smallest cache size whose miss ratio is at most ``target_miss_ratio`` (or ``None``)."""
+        for c, ratio in enumerate(self.ratios, start=1):
+            if ratio <= target_miss_ratio:
+                return c
+        return None
+
+
+def mrc_from_trace(
+    trace: Sequence[int] | np.ndarray, *, max_cache_size: int | None = None
+) -> MissRatioCurve:
+    """Exact LRU miss-ratio curve of a trace from its stack-distance histogram."""
+    arr = np.asarray(trace)
+    if arr.size == 0:
+        raise ValueError("cannot build a miss-ratio curve for an empty trace")
+    hits = hit_counts(arr, max_cache_size=max_cache_size)
+    ratios = 1.0 - hits.astype(np.float64) / arr.size
+    return MissRatioCurve(ratios=tuple(float(x) for x in ratios), accesses=int(arr.size))
+
+
+def mrc_by_simulation(
+    trace: Sequence[int] | np.ndarray, cache_sizes: Iterable[int]
+) -> dict[int, float]:
+    """Miss ratios measured by running an independent LRU simulation per cache size.
+
+    Quadratically slower than :func:`mrc_from_trace`; intended for validation
+    and for small traces.
+    """
+    arr = np.asarray(trace)
+    out: dict[int, float] = {}
+    for c in cache_sizes:
+        cache = LRUCache(int(c))
+        stats = cache.run(int(x) for x in arr)
+        out[int(c)] = stats.miss_ratio
+    return out
+
+
+def average_curves(curves: Sequence[MissRatioCurve] | Sequence[Sequence[float]]) -> np.ndarray:
+    """Element-wise average of equally long miss-ratio curves.
+
+    This is the aggregation used for Figure 1: the average curve of all
+    permutations sharing an inversion number.
+    """
+    if not curves:
+        raise ValueError("need at least one curve to average")
+    arrays = [
+        c.as_array() if isinstance(c, MissRatioCurve) else np.asarray(c, dtype=np.float64)
+        for c in curves
+    ]
+    length = arrays[0].size
+    if any(a.size != length for a in arrays):
+        raise ValueError("all curves must have the same length")
+    return np.mean(np.vstack(arrays), axis=0)

@@ -1,0 +1,62 @@
+"""Fully-associative cache with uniform random replacement.
+
+Random replacement is the memoryless baseline: it carries no locality
+information at all, so comparing it against LRU on re-traversal traces
+quantifies how much of the symmetric-locality benefit is attributable to
+recency tracking rather than to mere residency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import ensure_rng
+from .base import CacheModel
+
+__all__ = ["RandomCache"]
+
+
+class RandomCache(CacheModel):
+    """Fully-associative cache evicting a uniformly random resident item.
+
+    Parameters
+    ----------
+    capacity:
+        Cache capacity in items.
+    rng:
+        Seed or :class:`numpy.random.Generator`; runs with the same seed are
+        reproducible.
+    """
+
+    def __init__(self, capacity: int, rng: np.random.Generator | int | None = None):
+        super().__init__(capacity)
+        self._rng = ensure_rng(rng)
+        self._items: list[int] = []
+        self._index: dict[int, int] = {}
+
+    @property
+    def name(self) -> str:
+        return "random"
+
+    def access(self, item: int) -> bool:
+        if item in self._index:
+            return True
+        if len(self._items) >= self.capacity:
+            victim_pos = int(self._rng.integers(len(self._items)))
+            victim = self._items[victim_pos]
+            last = self._items.pop()
+            if victim_pos < len(self._items):
+                self._items[victim_pos] = last
+                self._index[last] = victim_pos
+            del self._index[victim]
+            self.stats.evictions += 1
+        self._index[item] = len(self._items)
+        self._items.append(item)
+        return False
+
+    def contents(self) -> set[int]:
+        return set(self._items)
+
+    def _reset_state(self) -> None:
+        self._items = []
+        self._index = {}

@@ -1,0 +1,161 @@
+"""Reuse-interval and LRU stack-distance algorithms for arbitrary traces.
+
+The closed-form results of :mod:`repro.core.hits` apply to periodic traces
+``A σ(A)``; general program traces reuse data arbitrarily often (the
+limitation discussed in Section VI-D/E).  This module provides the classic
+trace-processing algorithms so that arbitrary traces can be analysed and the
+periodic special case can be cross-validated:
+
+* :func:`reuse_intervals` — the time (access count) between consecutive uses
+  of the same item (Definition 4).
+* :func:`stack_distances_naive` — Mattson's original stack simulation,
+  ``O(N·M)``; the readable oracle.
+* :func:`stack_distances` — the Olken/Bennett–Kruskal algorithm: a Fenwick
+  tree over access times marks the *last* access of every item, so the number
+  of distinct items touched since the previous access of the current item is a
+  suffix sum — ``O(N log N)`` overall.
+* :func:`stack_distance_histogram` and :func:`hit_counts` — aggregate forms
+  used by the miss-ratio-curve construction in :mod:`repro.cache.mrc`.
+
+Distances use the same convention as the rest of the library: the *stack
+distance* of an access is ``1 +`` the number of distinct items referenced since
+the previous access to the same item; first-ever accesses (cold misses) have
+no finite distance and are reported as ``0`` sentinel in the histogram's
+overflow slot or ``numpy.iinfo(np.int64).max`` in per-access arrays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..core.inversions import FenwickTree
+
+__all__ = [
+    "COLD",
+    "reuse_intervals",
+    "stack_distances_naive",
+    "stack_distances",
+    "stack_distance_histogram",
+    "hit_counts",
+]
+
+#: Sentinel distance assigned to cold (first-ever) accesses.
+COLD: int = int(np.iinfo(np.int64).max)
+
+
+def _as_trace(trace: Sequence[int] | np.ndarray) -> np.ndarray:
+    arr = np.asarray(trace)
+    if arr.ndim != 1:
+        raise ValueError(f"trace must be one-dimensional, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"trace items must be integers, got dtype {arr.dtype}")
+    return arr.astype(np.int64, copy=False)
+
+
+def reuse_intervals(trace: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Reuse interval of each access: accesses since the previous use of the same item.
+
+    The first access of an item has no previous use and is reported as
+    :data:`COLD`.  (The paper's Definition 4 assigns the interval to the
+    *earlier* access of the pair; assigning it to the later access, as done
+    here, is the standard trace-processing convention and carries the same
+    multiset of finite values.)
+    """
+    arr = _as_trace(trace)
+    out = np.full(arr.size, COLD, dtype=np.int64)
+    last_seen: dict[int, int] = {}
+    for pos in range(arr.size):
+        item = int(arr[pos])
+        if item in last_seen:
+            out[pos] = pos - last_seen[item] - 1
+        last_seen[item] = pos
+    return out
+
+
+def stack_distances_naive(trace: Sequence[int] | np.ndarray) -> np.ndarray:
+    """LRU stack distances by direct stack simulation (``O(N·M)`` oracle).
+
+    Maintains the explicit LRU stack; the distance of an access is the depth
+    (1-based) of the item in the stack, or :data:`COLD` if absent.
+    """
+    arr = _as_trace(trace)
+    stack: list[int] = []  # most recently used at the end
+    out = np.full(arr.size, COLD, dtype=np.int64)
+    for pos in range(arr.size):
+        item = int(arr[pos])
+        try:
+            depth_from_top = len(stack) - stack.index(item)
+            out[pos] = depth_from_top
+            stack.remove(item)
+        except ValueError:
+            pass
+        stack.append(item)
+    return out
+
+
+def stack_distances(trace: Sequence[int] | np.ndarray) -> np.ndarray:
+    """LRU stack distances via the Olken / Bennett–Kruskal Fenwick-tree algorithm.
+
+    For each access the algorithm needs the number of *distinct* items touched
+    since the previous access to the same item.  Keeping a Fenwick tree with a
+    1 at the position of every item's most recent access, that count is the
+    sum of the tree over positions after the item's previous access.  Each
+    access does O(log N) work.
+    """
+    arr = _as_trace(trace)
+    n = arr.size
+    out = np.full(n, COLD, dtype=np.int64)
+    if n == 0:
+        return out
+    tree = FenwickTree(n)
+    last_pos: dict[int, int] = {}
+    for pos in range(n):
+        item = int(arr[pos])
+        prev = last_pos.get(item)
+        if prev is not None:
+            distinct_between = tree.range_sum(prev + 1, pos - 1)
+            out[pos] = distinct_between + 1
+            tree.add(prev, -1)
+        tree.add(pos, 1)
+        last_pos[item] = pos
+    return out
+
+
+def stack_distance_histogram(
+    trace: Sequence[int] | np.ndarray, *, max_distance: int | None = None
+) -> tuple[np.ndarray, int]:
+    """Histogram of finite stack distances plus the count of cold accesses.
+
+    Returns ``(hist, cold)`` where ``hist[d - 1]`` counts accesses at stack
+    distance ``d`` (1-based, up to ``max_distance`` or the number of distinct
+    items) and ``cold`` counts first-ever accesses.
+    """
+    arr = _as_trace(trace)
+    distances = stack_distances(arr)
+    finite = distances[distances != COLD]
+    cold = int(arr.size - finite.size)
+    limit = int(max_distance) if max_distance is not None else (int(finite.max()) if finite.size else 0)
+    hist = np.zeros(max(limit, 0), dtype=np.int64)
+    if finite.size:
+        clipped = finite[finite <= limit] if limit else finite[:0]
+        np.add.at(hist, clipped - 1, 1)
+    return hist, cold
+
+
+def hit_counts(trace: Sequence[int] | np.ndarray, *, max_cache_size: int | None = None) -> np.ndarray:
+    """``hits_c`` for ``c = 1 .. max_cache_size`` on an arbitrary trace.
+
+    An access hits in a fully-associative LRU cache of size ``c`` exactly when
+    its stack distance is ≤ ``c``; the hit-count vector is therefore the
+    cumulative sum of the stack-distance histogram.  The default cache-size
+    range extends to the number of distinct items in the trace.
+    """
+    arr = _as_trace(trace)
+    distinct = int(np.unique(arr).size) if arr.size else 0
+    limit = int(max_cache_size) if max_cache_size is not None else distinct
+    hist, _cold = stack_distance_histogram(arr, max_distance=limit)
+    if hist.size < limit:
+        hist = np.concatenate([hist, np.zeros(limit - hist.size, dtype=np.int64)])
+    return np.cumsum(hist)

@@ -1,0 +1,247 @@
+"""Command-line interface.
+
+Installed as ``python -m repro``; four subcommands cover the common workflows:
+
+``analyze``
+    Reuse statistics, locality score and sampled miss ratios of a trace file.
+``mrc``
+    Full LRU miss-ratio curve of a trace file, printed or written to CSV.
+``chain``
+    Run ChainFind on ``S_m`` with a chosen labeling and print the tie
+    statistics (the Figure 2 measurement for a single size).
+``experiment``
+    Re-run one of the paper-reproduction experiment drivers and print its
+    table (the same code paths the benchmark harness asserts against).
+``generate``
+    Write a synthetic trace file (re-traversals, STREAM, Zipfian) for use with
+    ``analyze``/``mrc`` or external tools.
+
+Examples
+--------
+::
+
+    python -m repro generate sawtooth --items 64 --output saw.trace
+    python -m repro analyze saw.trace
+    python -m repro mrc saw.trace --csv saw_mrc.csv
+    python -m repro chain 8 --labeling miss-ratio
+    python -m repro experiment fig1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table
+    from .cache.mrc import mrc_from_trace
+    from .trace.io import read_text
+    from .trace.stats import locality_score, summarize
+
+    trace = read_text(args.trace_file)
+    stats = summarize(trace)
+    print(format_table([stats.__dict__], title=f"Trace statistics — {trace.name}"))
+    print(f"locality score (0 = cyclic, 1 = sawtooth): {locality_score(trace):.4f}")
+    curve = mrc_from_trace(trace.accesses)
+    samples = sorted({max(1, trace.footprint // 8), max(1, trace.footprint // 2), trace.footprint})
+    rows = [{"cache_size": c, "miss_ratio": curve[c]} for c in samples]
+    print(format_table(rows, title="LRU miss ratio at sampled cache sizes"))
+    return 0
+
+
+def _cmd_mrc(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table, write_csv
+    from .cache.mrc import mrc_from_trace
+    from .trace.io import read_text
+
+    trace = read_text(args.trace_file)
+    curve = mrc_from_trace(trace.accesses, max_cache_size=args.max_size)
+    rows = [
+        {"cache_size": c + 1, "miss_ratio": ratio}
+        for c, ratio in enumerate(curve.ratios)
+    ]
+    if args.csv:
+        path = write_csv(args.csv, rows)
+        print(f"wrote {len(rows)} rows to {path}")
+    else:
+        print(format_table(rows, title=f"Miss-ratio curve — {trace.name}"))
+    return 0
+
+
+def _cmd_chain(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table
+    from .core.chainfind import chain_find
+    from .core.labelings import MissRatioLabeling, RankedMissRatioLabeling, TransposedLabeling
+    from .core.permutation import Permutation
+    from .core.timescale import DataMovementLabeling, TimescaleLabeling
+
+    m = args.m
+    labelings = {
+        "miss-ratio": MissRatioLabeling(),
+        "ranked": RankedMissRatioLabeling(
+            Permutation([m - 2] + list(range(m - 2)) + [m - 1]) if m >= 2 else Permutation.identity(m)
+        ),
+        "transposition": TransposedLabeling(),
+        "timescale": TimescaleLabeling(),
+        "data-movement": DataMovementLabeling(),
+    }
+    labeling = labelings[args.labeling]
+    result = chain_find(Permutation.identity(m), labeling, moves=args.moves)
+    rows = [
+        {
+            "m": m,
+            "labeling": args.labeling,
+            "moves": args.moves,
+            "chain_length": result.length,
+            "arbitrary_choices": result.arbitrary_choice_count,
+            "chain_multiplicity": result.chain_multiplicity,
+            "reaches_sawtooth": result.end.is_reverse(),
+        }
+    ]
+    print(format_table(rows, title="ChainFind result"))
+    if args.show_chain:
+        chain_rows = [
+            {"step": k, "sigma (1-indexed)": str(sigma.one_indexed()), "inversions": sigma.inversions()}
+            for k, sigma in enumerate(result.chain)
+        ]
+        print(format_table(chain_rows, title="Chain"))
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig1": ("run_fig1_mrc_by_inversion", {}),
+    "fig2": ("run_fig2_chainfind_ties", {}),
+    "s11": ("run_s11_ranked_labeling", {}),
+    "sawtooth-cyclic": ("run_sawtooth_cyclic", {}),
+    "matrix-reuse": ("run_matrix_reuse", {}),
+    "theorem2": ("run_theorem2_random", {}),
+    "mahonian": ("run_mahonian_partitions", {}),
+    "miss-integral": ("run_miss_integral", {}),
+    "policy-ablation": ("run_policy_ablation", {}),
+    "feasibility": ("run_feasibility_ablation", {}),
+    "ml-schedule": ("run_ml_schedule", {}),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from . import analysis
+    from .analysis.reporting import format_table
+
+    driver_name, kwargs = _EXPERIMENTS[args.name]
+    driver = getattr(analysis, driver_name)
+    result = driver(**kwargs)
+
+    if isinstance(result, list):
+        print(format_table(result, title=f"experiment: {args.name}"))
+    elif isinstance(result, dict) and "rows" in result:
+        print(format_table(result["rows"], title=f"experiment: {args.name}"))
+    elif isinstance(result, dict) and "curves" in result:
+        curves = {f"ell={ell}": result["curves"][ell] for ell in result["levels"]}
+        rows = [
+            {"cache_size": c, **{name: series[i] for name, series in curves.items()}}
+            for i, c in enumerate(result["cache_sizes"])
+        ]
+        print(format_table(rows, title=f"experiment: {args.name}"))
+    elif isinstance(result, dict) and "levels" in result:
+        print(format_table(result["levels"], title=f"experiment: {args.name}"))
+    else:
+        print(result)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .trace.generators import random_retraversal, zipfian_trace
+    from .trace.io import write_text
+    from .trace.trace import PeriodicTrace
+    from .trace.workloads import stream_copy
+
+    kind = args.kind
+    if kind == "cyclic":
+        trace = PeriodicTrace.cyclic(args.items).to_trace()
+    elif kind == "sawtooth":
+        trace = PeriodicTrace.sawtooth(args.items).to_trace()
+    elif kind == "random-retraversal":
+        trace = random_retraversal(args.items, args.seed).to_trace()
+    elif kind == "zipf":
+        trace = zipfian_trace(args.length, args.items, exponent=args.exponent, rng=args.seed)
+    elif kind == "stream":
+        trace = stream_copy(args.items, repetitions=args.repetitions)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown trace kind {kind!r}")
+    path = write_text(trace, args.output)
+    print(f"wrote {len(trace)} accesses over {trace.footprint} items to {path}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Symmetric locality toolkit: analyse traces, run ChainFind, reproduce the paper's experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="summarise a trace file")
+    analyze.add_argument("trace_file", help="text trace file (one item label per line)")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    mrc = subparsers.add_parser("mrc", help="miss-ratio curve of a trace file")
+    mrc.add_argument("trace_file")
+    mrc.add_argument("--max-size", type=int, default=None, help="largest cache size to report")
+    mrc.add_argument("--csv", default=None, help="write the curve to this CSV file instead of printing")
+    mrc.set_defaults(func=_cmd_mrc)
+
+    chain = subparsers.add_parser("chain", help="run ChainFind on S_m")
+    chain.add_argument("m", type=int, help="number of data items")
+    chain.add_argument(
+        "--labeling",
+        choices=["miss-ratio", "ranked", "transposition", "timescale", "data-movement"],
+        default="miss-ratio",
+    )
+    chain.add_argument("--moves", choices=["bruhat", "weak"], default="bruhat")
+    chain.add_argument("--show-chain", action="store_true", help="print every permutation along the chain")
+    chain.set_defaults(func=_cmd_chain)
+
+    experiment = subparsers.add_parser("experiment", help="re-run a paper-reproduction experiment")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.set_defaults(func=_cmd_experiment)
+
+    generate = subparsers.add_parser("generate", help="write a synthetic trace file")
+    generate.add_argument(
+        "kind", choices=["cyclic", "sawtooth", "random-retraversal", "zipf", "stream"]
+    )
+    generate.add_argument("--items", type=int, default=64, help="number of distinct items")
+    generate.add_argument("--length", type=int, default=4096, help="trace length (zipf only)")
+    generate.add_argument("--exponent", type=float, default=1.0, help="zipf exponent")
+    generate.add_argument("--repetitions", type=int, default=2, help="stream repetitions")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", "-o", required=True, help="output trace file")
+    generate.set_defaults(func=_cmd_generate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piping into `head`); exit quietly like
+        # other well-behaved unix filters.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

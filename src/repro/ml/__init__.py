@@ -1,0 +1,48 @@
+"""Section VI application layer: permutation-equivariant models and traversal scheduling."""
+
+from .attention import TracedAttention
+from .equivariance import (
+    gelu,
+    hidden_unit_permutation_invariant,
+    is_permutation_equivariant,
+    layer_norm,
+    linear,
+    relu,
+    self_attention,
+    softmax,
+)
+from .gnn import (
+    RandomGraph,
+    bfs_order,
+    degree_order,
+    message_passing_trace,
+    reverse_cuthill_mckee_order,
+)
+from .mlp import MLPPassRecord, TracedMLP
+from .schedule import ScheduleEvaluation, build_schedule, compare_schedules, evaluate_schedule
+from .tensors import TensorLayout, TensorSpec
+
+__all__ = [
+    "TracedAttention",
+    "gelu",
+    "hidden_unit_permutation_invariant",
+    "is_permutation_equivariant",
+    "layer_norm",
+    "linear",
+    "relu",
+    "self_attention",
+    "softmax",
+    "RandomGraph",
+    "bfs_order",
+    "degree_order",
+    "message_passing_trace",
+    "reverse_cuthill_mckee_order",
+    "MLPPassRecord",
+    "TracedMLP",
+    "ScheduleEvaluation",
+    "build_schedule",
+    "compare_schedules",
+    "evaluate_schedule",
+    "TensorLayout",
+    "TensorSpec",
+]

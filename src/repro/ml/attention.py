@@ -1,0 +1,148 @@
+"""Multi-head attention with parameter-access tracing.
+
+The paper singles out the key/value/projection matrices of multi-head
+attention as candidates for symmetric-locality scheduling: heads are
+permutation-equivariant, so the order in which their parameter blocks are
+traversed is free.  :class:`TracedAttention` provides
+
+* a real NumPy multi-head self-attention forward pass,
+* verification that permuting the heads (and the corresponding slices of the
+  projection matrices) leaves the output unchanged,
+* per-pass parameter-access traces at head-block granularity, with an optional
+  per-pass head order so the Theorem-4 alternation can be applied at the head
+  level.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .._util import check_positive_int, ensure_rng
+from ..core.permutation import Permutation
+from ..trace.trace import Trace
+from .equivariance import softmax
+from .tensors import TensorLayout, TensorSpec
+
+__all__ = ["TracedAttention"]
+
+
+class TracedAttention:
+    """Multi-head self-attention whose parameter traversals are traced.
+
+    Parameters
+    ----------
+    d_model:
+        Model (embedding) dimension; must be divisible by ``num_heads``.
+    num_heads:
+        Number of attention heads.
+    granularity:
+        Number of consecutive weights per data item in the traces.
+    rng:
+        Seed or generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        *,
+        granularity: int = 64,
+        rng: np.random.Generator | int | None = None,
+    ):
+        self.d_model = check_positive_int(d_model, "d_model")
+        self.num_heads = check_positive_int(num_heads, "num_heads")
+        if d_model % num_heads:
+            raise ValueError(f"d_model={d_model} must be divisible by num_heads={num_heads}")
+        self.head_dim = d_model // num_heads
+        self.granularity = check_positive_int(granularity, "granularity")
+        generator = ensure_rng(rng)
+        scale = 1.0 / np.sqrt(d_model)
+        # per-head projection slices: w_q/k/v[h] has shape (d_model, head_dim);
+        # w_o[h] has shape (head_dim, d_model) so that concat-then-project equals
+        # summing per-head outputs.
+        self.w_q = generator.standard_normal((num_heads, d_model, self.head_dim)) * scale
+        self.w_k = generator.standard_normal((num_heads, d_model, self.head_dim)) * scale
+        self.w_v = generator.standard_normal((num_heads, d_model, self.head_dim)) * scale
+        self.w_o = generator.standard_normal((num_heads, self.head_dim, d_model)) * scale
+        specs = [
+            TensorSpec(f"head{h}", (4, d_model, self.head_dim), granularity)
+            for h in range(num_heads)
+        ]
+        self.layout = TensorLayout(specs)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_weight_items(self) -> int:
+        """Total number of parameter blocks across all heads."""
+        return self.layout.total_items
+
+    def head_items(self, head: int) -> np.ndarray:
+        """Item labels of one head's parameter blocks."""
+        return self.layout.items_of(f"head{head}")
+
+    def forward(self, x: np.ndarray, *, head_order: Sequence[int] | Permutation | None = None) -> np.ndarray:
+        """Self-attention output for token matrix ``x`` of shape ``(tokens, d_model)``.
+
+        ``head_order`` only affects the order in which heads are *processed*
+        (and therefore the access trace); the sum over heads is commutative so
+        the output is identical for every order — the permutation-equivariance
+        fact the optimisation relies on.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.d_model:
+            raise ValueError(f"x must have shape (tokens, {self.d_model}), got {x.shape}")
+        order = self._resolve_head_order(head_order)
+        out = np.zeros((x.shape[0], self.d_model), dtype=np.float64)
+        scale = 1.0 / np.sqrt(self.head_dim)
+        for h in order:
+            q = x @ self.w_q[h]
+            k = x @ self.w_k[h]
+            v = x @ self.w_v[h]
+            attn = softmax((q @ k.T) * scale, axis=-1)
+            out += (attn @ v) @ self.w_o[h]
+        return out
+
+    def _resolve_head_order(self, head_order) -> list[int]:
+        if head_order is None:
+            return list(range(self.num_heads))
+        if isinstance(head_order, Permutation):
+            if head_order.size != self.num_heads:
+                raise ValueError(f"head_order must act on {self.num_heads} heads")
+            return list(head_order.one_line)
+        order = [int(h) for h in head_order]
+        if sorted(order) != list(range(self.num_heads)):
+            raise ValueError("head_order must be a permutation of the head indices")
+        return order
+
+    # ------------------------------------------------------------------ #
+    def pass_items(self, *, head_order: Sequence[int] | Permutation | None = None) -> np.ndarray:
+        """Parameter-access items of one pass, visiting heads in the given order."""
+        order = self._resolve_head_order(head_order)
+        return np.concatenate([self.head_items(h) for h in order])
+
+    def access_trace(
+        self,
+        passes: int,
+        *,
+        head_schedule: Sequence[Sequence[int] | Permutation | None] | None = None,
+    ) -> Trace:
+        """Parameter-access trace of ``passes`` traversals of all head parameters.
+
+        ``head_schedule`` optionally gives a head order per pass; ``None``
+        entries (or no schedule) use the canonical head order.  Alternating
+        canonical / reversed head order is the head-granularity sawtooth
+        schedule the benchmarks evaluate.
+        """
+        passes = check_positive_int(passes, "passes")
+        if head_schedule is not None and len(head_schedule) != passes:
+            raise ValueError(f"head_schedule must have {passes} entries, got {len(head_schedule)}")
+        chunks = []
+        for p in range(passes):
+            order = head_schedule[p] if head_schedule is not None else None
+            chunks.append(self.pass_items(head_order=order))
+        return Trace(
+            np.concatenate(chunks),
+            name=f"attention(d={self.d_model}, heads={self.num_heads}, passes={passes})",
+        )

@@ -1,0 +1,149 @@
+"""Permutation equivariance of network components (Section VI-A1).
+
+A function ``f`` is *permutation equivariant* when ``σ f(x) = f(σ x)`` for
+every permutation ``σ`` of the token/row axis.  The paper relies on this
+property to argue that re-ordering the traversal of parameters (or of
+permutation-invariant data) cannot change the model's result, only its memory
+behaviour.
+
+This module provides
+
+* reference NumPy implementations of the components the paper lists as
+  equivariant — element-wise activations, softmax over the feature axis,
+  row-wise linear layers, layer normalisation, and (self-)attention,
+* :func:`is_permutation_equivariant`, a randomised numerical check of the
+  property for any callable,
+* :func:`hidden_unit_permutation_invariant`, the weight-space counterpart used
+  by :mod:`repro.ml.mlp`: permuting the hidden units of an MLP (and its weight
+  matrices consistently) leaves the function computed by the network
+  unchanged, which is what licenses the Theorem-4 re-ordering of weight
+  traversals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from .._util import ensure_rng
+from ..core.permutation import Permutation, random_permutation
+
+__all__ = [
+    "relu",
+    "gelu",
+    "softmax",
+    "layer_norm",
+    "linear",
+    "self_attention",
+    "is_permutation_equivariant",
+    "hidden_unit_permutation_invariant",
+]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Element-wise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation)."""
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def layer_norm(x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Layer normalisation over the last axis (no learned scale/shift)."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(var + eps)
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Row-wise affine map ``x @ weight + bias`` (each row of ``x`` is a token)."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def self_attention(
+    x: np.ndarray,
+    w_q: np.ndarray,
+    w_k: np.ndarray,
+    w_v: np.ndarray,
+    w_o: np.ndarray,
+) -> np.ndarray:
+    """Single-head scaled dot-product self-attention over the rows of ``x``."""
+    q, k, v = x @ w_q, x @ w_k, x @ w_v
+    scale = 1.0 / np.sqrt(q.shape[-1])
+    attn = softmax((q @ k.T) * scale, axis=-1)
+    return (attn @ v) @ w_o
+
+
+def is_permutation_equivariant(
+    fn: Callable[[np.ndarray], np.ndarray],
+    *,
+    tokens: int,
+    features: int,
+    trials: int = 8,
+    rng: np.random.Generator | int | None = None,
+    atol: float = 1e-8,
+) -> bool:
+    """Numerically test ``σ f(x) == f(σ x)`` on random inputs and permutations.
+
+    ``fn`` maps a ``(tokens, features)`` array to a ``(tokens, ...)`` array;
+    the permutation acts on the token (row) axis.
+    """
+    generator = ensure_rng(rng)
+    for _ in range(trials):
+        x = generator.standard_normal((tokens, features))
+        sigma = random_permutation(tokens, generator)
+        perm = np.asarray(sigma.one_line, dtype=np.intp)
+        left = fn(x)[perm]
+        right = fn(x[perm])
+        if not np.allclose(left, right, atol=atol):
+            return False
+    return True
+
+
+def hidden_unit_permutation_invariant(
+    w1: np.ndarray,
+    w2: np.ndarray,
+    sigma: Permutation,
+    *,
+    activation: Callable[[np.ndarray], np.ndarray] = relu,
+    rng: np.random.Generator | int | None = None,
+    trials: int = 4,
+    atol: float = 1e-8,
+) -> bool:
+    """Check that permuting hidden units leaves a two-layer MLP's function unchanged.
+
+    With hidden permutation ``σ``, the columns of ``w1`` and the rows of
+    ``w2`` are permuted consistently; the composite map
+    ``x ↦ act(x @ w1) @ w2`` must be identical because element-wise
+    activations commute with the permutation.  This is the weight-space
+    permutation equivariance the paper exploits: the optimiser may traverse
+    (and even physically re-order) the hidden dimension in any order.
+    """
+    if w1.shape[1] != w2.shape[0]:
+        raise ValueError("w1 columns must match w2 rows (the hidden dimension)")
+    if sigma.size != w1.shape[1]:
+        raise ValueError(f"permutation acts on {sigma.size} units, hidden dimension is {w1.shape[1]}")
+    generator = ensure_rng(rng)
+    perm = np.asarray(sigma.one_line, dtype=np.intp)
+    w1_p = w1[:, perm]
+    w2_p = w2[perm, :]
+    for _ in range(trials):
+        x = generator.standard_normal((3, w1.shape[0]))
+        original = activation(x @ w1) @ w2
+        permuted = activation(x @ w1_p) @ w2_p
+        if not np.allclose(original, permuted, atol=atol):
+            return False
+    return True

@@ -1,0 +1,206 @@
+"""A small NumPy MLP that records its parameter-access trace.
+
+Section VI-A2 proposes permuting the order in which a model's weights are
+traversed on alternate passes (forward vs. backward, or consecutive training
+steps) to exploit symmetric locality.  :class:`TracedMLP` makes that concrete:
+
+* the forward and backward passes are real NumPy computations, so the
+  numerical effect (none) of any weight-traversal re-ordering can be asserted,
+* every pass also emits the sequence of weight-block items it touches, at a
+  configurable block granularity, so the memory behaviour of traversal
+  schedules can be measured with the cache substrate.
+
+The weight blocks of each layer are visited in row-major order by default; a
+per-pass permutation of the *global* block sequence can be supplied (e.g. the
+sawtooth order from :func:`repro.core.optimal.alternating_schedule`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check_positive_int, ensure_rng
+from ..core.permutation import Permutation
+from ..trace.trace import Trace
+from .equivariance import relu
+from .tensors import TensorLayout, TensorSpec
+
+__all__ = ["TracedMLP", "MLPPassRecord"]
+
+
+@dataclass(frozen=True)
+class MLPPassRecord:
+    """What one pass over the model produced: outputs/gradients plus the access trace."""
+
+    kind: str  # "forward" or "backward"
+    items: np.ndarray  # parameter item labels in access order
+    output: np.ndarray | None = None
+    loss: float | None = None
+
+
+class TracedMLP:
+    """A fully-connected network with explicit parameter-access tracing.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes of the input, hidden and output layers, e.g. ``[64, 128, 10]``.
+    granularity:
+        Number of consecutive weights grouped into one data item (a cache
+        block).  Biases are small and ignored in the trace.
+    activation:
+        Element-wise activation applied after every layer but the last.
+    rng:
+        Seed or generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        *,
+        granularity: int = 16,
+        activation: Callable[[np.ndarray], np.ndarray] = relu,
+        rng: np.random.Generator | int | None = None,
+    ):
+        if len(layer_sizes) < 2:
+            raise ValueError("layer_sizes needs at least input and output sizes")
+        self.layer_sizes = [check_positive_int(s, "layer size") for s in layer_sizes]
+        self.granularity = check_positive_int(granularity, "granularity")
+        self.activation = activation
+        generator = ensure_rng(rng)
+        self.weights: list[np.ndarray] = []
+        specs: list[TensorSpec] = []
+        for index, (fan_in, fan_out) in enumerate(zip(self.layer_sizes, self.layer_sizes[1:])):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(generator.standard_normal((fan_in, fan_out)) * scale)
+            specs.append(TensorSpec(f"w{index}", (fan_in, fan_out), granularity))
+        self.layout = TensorLayout(specs)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_weight_items(self) -> int:
+        """Total number of weight blocks (data items) across all layers."""
+        return self.layout.total_items
+
+    def _pass_items(self, block_order: Permutation | None) -> np.ndarray:
+        base = self.layout.canonical_order()
+        if block_order is None:
+            return base
+        if block_order.size != base.size:
+            raise ValueError(
+                f"block_order acts on {block_order.size} items, model has {base.size}"
+            )
+        return base[np.asarray(block_order.one_line, dtype=np.intp)]
+
+    # ------------------------------------------------------------------ #
+    def forward(
+        self, x: np.ndarray, *, block_order: Permutation | None = None
+    ) -> MLPPassRecord:
+        """Run the forward pass and record the weight blocks it reads.
+
+        ``block_order`` changes only the *order* in which weight blocks are
+        counted as touched (the computation itself is unchanged), which is the
+        paper's model of a locality-aware parameter traversal.
+        """
+        h = np.asarray(x, dtype=np.float64)
+        self._activations = [h]
+        for k, w in enumerate(self.weights):
+            h = h @ w
+            if k < len(self.weights) - 1:
+                h = self.activation(h)
+            self._activations.append(h)
+        items = self._pass_items(block_order)
+        return MLPPassRecord(kind="forward", items=items, output=h)
+
+    def backward(
+        self,
+        x: np.ndarray,
+        target: np.ndarray,
+        *,
+        block_order: Permutation | None = None,
+        learning_rate: float = 0.0,
+    ) -> MLPPassRecord:
+        """Run a (squared-error) backward pass and record the weight blocks it re-reads.
+
+        Gradients are computed with explicit NumPy matrix products; when
+        ``learning_rate`` is non-zero the weights are updated in place, which
+        lets the multi-step training example exercise repeated re-traversals of
+        a *changing* parameter set.
+        """
+        forward = self.forward(x)
+        output = forward.output
+        target = np.asarray(target, dtype=np.float64)
+        if target.shape != output.shape:
+            raise ValueError(f"target shape {target.shape} does not match output {output.shape}")
+        diff = output - target
+        loss = float(0.5 * np.mean(np.sum(diff * diff, axis=-1)))
+
+        grad = diff / diff.shape[0]
+        gradients: list[np.ndarray] = [None] * len(self.weights)
+        for k in range(len(self.weights) - 1, -1, -1):
+            a_prev = self._activations[k]
+            gradients[k] = a_prev.T @ grad
+            if k > 0:
+                grad = grad @ self.weights[k].T
+                # ReLU (or other activation) mask — recompute from the stored activation
+                grad = grad * (self._activations[k] > 0)
+        if learning_rate:
+            for k, g in enumerate(gradients):
+                self.weights[k] -= learning_rate * g
+        items = self._pass_items(block_order)
+        return MLPPassRecord(kind="backward", items=items, loss=loss)
+
+    # ------------------------------------------------------------------ #
+    def training_trace(
+        self,
+        x: np.ndarray,
+        target: np.ndarray,
+        *,
+        steps: int,
+        schedule: Sequence[Permutation] | None = None,
+        learning_rate: float = 0.0,
+    ) -> Trace:
+        """Parameter-access trace of ``steps`` training steps (forward + backward each).
+
+        ``schedule`` gives the block traversal order of each *pass*
+        (``2 * steps`` entries); ``None`` means canonical order everywhere
+        (the naive cyclic schedule).  Use
+        :func:`repro.core.optimal.alternating_schedule` with the sawtooth
+        permutation to build the Theorem-4 schedule.
+        """
+        steps = check_positive_int(steps, "steps")
+        passes = 2 * steps
+        if schedule is not None and len(schedule) != passes:
+            raise ValueError(f"schedule must have {passes} entries (one per pass), got {len(schedule)}")
+        chunks: list[np.ndarray] = []
+        for step in range(steps):
+            fwd_order = schedule[2 * step] if schedule is not None else None
+            bwd_order = schedule[2 * step + 1] if schedule is not None else None
+            fwd = self.forward(x, block_order=fwd_order)
+            chunks.append(fwd.items)
+            bwd = self.backward(x, target, block_order=bwd_order, learning_rate=learning_rate)
+            chunks.append(bwd.items)
+        return Trace(np.concatenate(chunks), name=f"mlp_training(steps={steps})")
+
+    def permute_hidden_units(self, layer: int, sigma: Permutation) -> None:
+        """Physically permute the hidden units of ``layer`` (columns of ``w[layer]``).
+
+        The rows of the following weight matrix are permuted consistently, so
+        the network function is unchanged (see
+        :func:`repro.ml.equivariance.hidden_unit_permutation_invariant`).
+        Only interior layers can be permuted.
+        """
+        if not 0 <= layer < len(self.weights) - 1:
+            raise ValueError(
+                f"layer must be an interior layer index in [0, {len(self.weights) - 2}], got {layer}"
+            )
+        if sigma.size != self.weights[layer].shape[1]:
+            raise ValueError(
+                f"permutation size {sigma.size} does not match hidden width {self.weights[layer].shape[1]}"
+            )
+        perm = np.asarray(sigma.one_line, dtype=np.intp)
+        self.weights[layer] = self.weights[layer][:, perm]
+        self.weights[layer + 1] = self.weights[layer + 1][perm, :]

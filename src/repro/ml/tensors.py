@@ -1,0 +1,126 @@
+"""Tensor-to-data-item layouts for the deep-learning application layer.
+
+The Section VI-A optimisation operates on the *parameter space* of a model:
+each weight tensor is split into fixed-size blocks (cache lines / tiles) and a
+traversal visits the blocks in some order.  :class:`TensorLayout` assigns a
+contiguous range of item labels to each named tensor, converts between
+(tensor, flat offset) coordinates and global item labels, and produces the
+canonical traversal order that the permutation machinery then re-orders.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import check_positive_int
+
+__all__ = ["TensorSpec", "TensorLayout"]
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape and block granularity of one named tensor."""
+
+    name: str
+    shape: tuple[int, ...]
+    granularity: int = 1
+
+    def __post_init__(self):
+        if not self.shape:
+            raise ValueError(f"tensor {self.name!r} must have a non-empty shape")
+        for dim in self.shape:
+            check_positive_int(dim, f"{self.name} dimension")
+        check_positive_int(self.granularity, "granularity")
+
+    @property
+    def elements(self) -> int:
+        """Number of scalar elements."""
+        return int(np.prod(self.shape))
+
+    @property
+    def blocks(self) -> int:
+        """Number of data items (blocks of ``granularity`` consecutive elements)."""
+        return -(-self.elements // self.granularity)
+
+
+class TensorLayout:
+    """Assign global item labels to the blocks of a collection of tensors.
+
+    Tensors are laid out in declaration order; block ``b`` of tensor ``t``
+    gets the label ``offset(t) + b``.
+
+    Examples
+    --------
+    >>> layout = TensorLayout([TensorSpec("w1", (4, 8)), TensorSpec("w2", (8, 2))])
+    >>> layout.total_items
+    48
+    >>> layout.item("w2", 0)
+    32
+    """
+
+    def __init__(self, tensors: Sequence[TensorSpec]):
+        if not tensors:
+            raise ValueError("layout needs at least one tensor")
+        names = [t.name for t in tensors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tensor names in layout: {names}")
+        self.tensors: tuple[TensorSpec, ...] = tuple(tensors)
+        offsets: dict[str, int] = {}
+        base = 0
+        for spec in self.tensors:
+            offsets[spec.name] = base
+            base += spec.blocks
+        self._offsets = offsets
+        self.total_items = base
+
+    @classmethod
+    def from_shapes(
+        cls, shapes: Mapping[str, Sequence[int]], *, granularity: int = 1
+    ) -> "TensorLayout":
+        """Build a layout from a ``{name: shape}`` mapping with uniform granularity."""
+        return cls(
+            [TensorSpec(name, tuple(int(d) for d in shape), granularity) for name, shape in shapes.items()]
+        )
+
+    def spec(self, name: str) -> TensorSpec:
+        """The :class:`TensorSpec` of a named tensor."""
+        for t in self.tensors:
+            if t.name == name:
+                return t
+        raise KeyError(f"unknown tensor {name!r}")
+
+    def offset(self, name: str) -> int:
+        """Global label of the first block of tensor ``name``."""
+        if name not in self._offsets:
+            raise KeyError(f"unknown tensor {name!r}")
+        return self._offsets[name]
+
+    def item(self, name: str, block: int) -> int:
+        """Global label of block ``block`` of tensor ``name``."""
+        spec = self.spec(name)
+        if not 0 <= block < spec.blocks:
+            raise IndexError(f"block {block} out of range for tensor {name!r} ({spec.blocks} blocks)")
+        return self._offsets[name] + block
+
+    def items_of(self, name: str) -> np.ndarray:
+        """All item labels of one tensor, in block order."""
+        spec = self.spec(name)
+        start = self._offsets[name]
+        return np.arange(start, start + spec.blocks, dtype=np.intp)
+
+    def owner(self, item: int) -> tuple[str, int]:
+        """The ``(tensor name, block index)`` owning a global item label."""
+        if not 0 <= item < self.total_items:
+            raise IndexError(f"item {item} out of range 0..{self.total_items - 1}")
+        for spec in self.tensors:
+            start = self._offsets[spec.name]
+            if start <= item < start + spec.blocks:
+                return spec.name, item - start
+        raise RuntimeError("unreachable: layout offsets are exhaustive")
+
+    def canonical_order(self) -> np.ndarray:
+        """Every item label in layout order — the canonical traversal ``A``."""
+        return np.arange(self.total_items, dtype=np.intp)

@@ -1,0 +1,73 @@
+"""Trace substrate: containers, generators, synthetic workloads, file I/O, statistics."""
+
+from .trace import PeriodicTrace, Trace
+from .generators import (
+    blocked_traversal,
+    column_major_matrix,
+    cyclic_retraversal,
+    fixed_inversion_retraversal,
+    random_retraversal,
+    random_trace,
+    repeated_traversals,
+    row_major_matrix,
+    sawtooth_retraversal,
+    strided_traversal,
+    tiled_matrix,
+    zipfian_trace,
+)
+from .workloads import (
+    attention_parameter_trace,
+    gnn_neighbor_trace,
+    matrix_multiply_blocked,
+    matrix_multiply_ijk,
+    mlp_parameter_trace,
+    stencil_sweeps,
+    stream_copy,
+    stream_triad,
+)
+from .decomposition import (
+    PhaseDecomposition,
+    phase_decomposition,
+    predicted_hits,
+    prediction_error,
+    retraversal_permutations,
+)
+from .io import read_npz, read_text, write_npz, write_text
+from .stats import TraceStats, locality_score, summarize
+
+__all__ = [
+    "PeriodicTrace",
+    "Trace",
+    "blocked_traversal",
+    "column_major_matrix",
+    "cyclic_retraversal",
+    "fixed_inversion_retraversal",
+    "random_retraversal",
+    "random_trace",
+    "repeated_traversals",
+    "row_major_matrix",
+    "sawtooth_retraversal",
+    "strided_traversal",
+    "tiled_matrix",
+    "zipfian_trace",
+    "attention_parameter_trace",
+    "gnn_neighbor_trace",
+    "matrix_multiply_blocked",
+    "matrix_multiply_ijk",
+    "mlp_parameter_trace",
+    "stencil_sweeps",
+    "stream_copy",
+    "stream_triad",
+    "PhaseDecomposition",
+    "phase_decomposition",
+    "predicted_hits",
+    "prediction_error",
+    "retraversal_permutations",
+    "read_npz",
+    "read_text",
+    "write_npz",
+    "write_text",
+    "TraceStats",
+    "locality_score",
+    "summarize",
+]

@@ -1,0 +1,186 @@
+"""Re-traversal and access-pattern generators.
+
+These produce the traces used throughout the examples, tests and benchmarks:
+the two canonical re-traversals (cyclic and sawtooth), random and
+fixed-inversion re-traversals, repeated multi-pass traversals, and the
+classic array access patterns (strided, blocked/tiled, row/column-major
+matrix walks) whose re-traversal structure the paper's applications section
+appeals to.
+
+All generators return either a :class:`~repro.trace.trace.PeriodicTrace`
+(when the object is inherently a single re-traversal) or a
+:class:`~repro.trace.trace.Trace` (for longer access sequences).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .._util import check_nonnegative_int, check_positive_int, ensure_rng
+from ..core.mahonian import random_permutation_with_inversions
+from ..core.permutation import Permutation, random_permutation
+from .trace import PeriodicTrace, Trace
+
+__all__ = [
+    "cyclic_retraversal",
+    "sawtooth_retraversal",
+    "random_retraversal",
+    "fixed_inversion_retraversal",
+    "repeated_traversals",
+    "strided_traversal",
+    "blocked_traversal",
+    "row_major_matrix",
+    "column_major_matrix",
+    "tiled_matrix",
+    "zipfian_trace",
+    "random_trace",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Re-traversals (periodic traces)
+# --------------------------------------------------------------------------- #
+def cyclic_retraversal(m: int) -> PeriodicTrace:
+    """The cyclic (streaming) re-traversal of ``m`` items."""
+    return PeriodicTrace.cyclic(check_positive_int(m, "m"))
+
+
+def sawtooth_retraversal(m: int) -> PeriodicTrace:
+    """The sawtooth re-traversal of ``m`` items."""
+    return PeriodicTrace.sawtooth(check_positive_int(m, "m"))
+
+
+def random_retraversal(m: int, rng: np.random.Generator | int | None = None) -> PeriodicTrace:
+    """A uniformly random re-traversal of ``m`` items."""
+    return PeriodicTrace(random_permutation(check_positive_int(m, "m"), rng))
+
+
+def fixed_inversion_retraversal(
+    m: int, inversions: int, rng: np.random.Generator | int | None = None
+) -> PeriodicTrace:
+    """A random re-traversal with a prescribed inversion number (locality level)."""
+    sigma = random_permutation_with_inversions(m, inversions, rng)
+    return PeriodicTrace(sigma)
+
+
+def repeated_traversals(schedule: Sequence[Permutation]) -> Trace:
+    """Concatenate full traversals, each ordered by the corresponding permutation.
+
+    ``repeated_traversals([e, σ, e, σ])`` is the Theorem-4 alternating schedule
+    trace; ``repeated_traversals([e] * k)`` is ``k`` streaming passes.
+    """
+    if not schedule:
+        raise ValueError("schedule must contain at least one traversal")
+    m = schedule[0].size
+    if any(p.size != m for p in schedule):
+        raise ValueError("all traversals must cover the same number of items")
+    parts = [np.asarray(p.one_line, dtype=np.intp) for p in schedule]
+    return Trace(np.concatenate(parts), name=f"repeated(k={len(schedule)}, m={m})")
+
+
+# --------------------------------------------------------------------------- #
+# Array / matrix walks
+# --------------------------------------------------------------------------- #
+def strided_traversal(m: int, stride: int) -> Permutation:
+    """The permutation visiting ``m`` items with a fixed stride (wrapping around).
+
+    The stride must be coprime with ``m`` so every item is visited exactly
+    once; the result can be used as a re-traversal order directly.
+    """
+    m = check_positive_int(m, "m")
+    stride = check_positive_int(stride, "stride")
+    if np.gcd(m, stride) != 1:
+        raise ValueError(f"stride {stride} must be coprime with m={m} to visit every item once")
+    return Permutation([(i * stride) % m for i in range(m)])
+
+
+def blocked_traversal(m: int, block: int) -> Permutation:
+    """Visit items block by block, reversing the order *of the blocks*.
+
+    A simple model of loop tiling applied to a re-traversal: locality inside a
+    block is preserved while blocks are revisited nearest-first.  ``block``
+    need not divide ``m``; the final partial block is handled naturally.
+    """
+    m = check_positive_int(m, "m")
+    block = check_positive_int(block, "block")
+    blocks = [list(range(start, min(start + block, m))) for start in range(0, m, block)]
+    order: list[int] = []
+    for blk in reversed(blocks):
+        order.extend(blk)
+    return Permutation(order)
+
+
+def row_major_matrix(rows: int, cols: int) -> Permutation:
+    """Row-major visit order of an ``rows × cols`` matrix whose elements are numbered row-major.
+
+    This is the identity permutation — included for readability of the ML
+    examples, which compare traversals of the same weight matrix.
+    """
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    return Permutation.identity(rows * cols)
+
+
+def column_major_matrix(rows: int, cols: int) -> Permutation:
+    """Column-major visit order of a row-major-numbered ``rows × cols`` matrix."""
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    order = [r * cols + c for c in range(cols) for r in range(rows)]
+    return Permutation(order)
+
+
+def tiled_matrix(rows: int, cols: int, tile_rows: int, tile_cols: int) -> Permutation:
+    """Tile-by-tile visit order of a row-major-numbered matrix.
+
+    Within a tile elements are visited row-major; tiles are visited row-major
+    over the tile grid.  Partial tiles at the right/bottom edges are allowed.
+    """
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    tile_rows = check_positive_int(tile_rows, "tile_rows")
+    tile_cols = check_positive_int(tile_cols, "tile_cols")
+    order: list[int] = []
+    for tr in range(0, rows, tile_rows):
+        for tc in range(0, cols, tile_cols):
+            for r in range(tr, min(tr + tile_rows, rows)):
+                for c in range(tc, min(tc + tile_cols, cols)):
+                    order.append(r * cols + c)
+    return Permutation(order)
+
+
+# --------------------------------------------------------------------------- #
+# Generic synthetic traces
+# --------------------------------------------------------------------------- #
+def random_trace(
+    length: int, footprint: int, rng: np.random.Generator | int | None = None
+) -> Trace:
+    """A uniformly random trace of ``length`` accesses over ``footprint`` items."""
+    length = check_nonnegative_int(length, "length")
+    footprint = check_positive_int(footprint, "footprint")
+    generator = ensure_rng(rng)
+    return Trace(generator.integers(0, footprint, size=length), name="uniform")
+
+
+def zipfian_trace(
+    length: int,
+    footprint: int,
+    exponent: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """A trace whose item popularity follows a Zipf-like power law.
+
+    Hot items model the skewed reuse of real workloads; the trace-level MRC
+    tools are exercised on it in the integration tests (the periodic-trace
+    theory does not apply to it, which is the Section VI-D limitation).
+    """
+    length = check_nonnegative_int(length, "length")
+    footprint = check_positive_int(footprint, "footprint")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    generator = ensure_rng(rng)
+    weights = 1.0 / np.arange(1, footprint + 1, dtype=np.float64) ** exponent
+    probabilities = weights / weights.sum()
+    items = generator.choice(footprint, size=length, p=probabilities)
+    return Trace(items, name=f"zipf(s={exponent})")

@@ -1,0 +1,167 @@
+"""Trace containers.
+
+A *trace* is a finite sequence of accesses to integer-labelled data items
+(Section II).  Two containers are provided:
+
+:class:`Trace`
+    An arbitrary access sequence with convenience statistics and slicing.
+:class:`PeriodicTrace`
+    The paper's ``T = A σ(A)`` object: a first traversal of ``m`` distinct
+    items followed by a re-traversal in permuted order.  It knows its
+    generating permutation, so the closed-form locality results of
+    :mod:`repro.core.hits` are available directly, and it can materialise the
+    concrete access sequence for the trace-level simulators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import as_int_array
+from ..core.hits import locality_profile
+from ..core.permutation import Permutation
+
+__all__ = ["Trace", "PeriodicTrace"]
+
+
+class Trace:
+    """An access trace over integer-labelled data items.
+
+    Parameters
+    ----------
+    accesses:
+        Iterable of item labels (non-negative integers).
+    name:
+        Optional descriptive name used in reports.
+    """
+
+    def __init__(self, accesses: Sequence[int] | np.ndarray, *, name: str = "trace"):
+        self._accesses = as_int_array(accesses, "accesses")
+        if self._accesses.size and self._accesses.min() < 0:
+            raise ValueError("item labels must be non-negative")
+        self.name = str(name)
+
+    # -------------------------------------------------------------- #
+    @property
+    def accesses(self) -> np.ndarray:
+        """The access sequence as an integer array (view, do not mutate)."""
+        return self._accesses
+
+    def __len__(self) -> int:
+        return int(self._accesses.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(x) for x in self._accesses)
+
+    def __getitem__(self, index):
+        result = self._accesses[index]
+        if np.isscalar(result) or result.ndim == 0:
+            return int(result)
+        return Trace(result, name=f"{self.name}[slice]")
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Trace):
+            return np.array_equal(self._accesses, other._accesses)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(int(x)) for x in self._accesses[:8])
+        suffix = ", ..." if len(self) > 8 else ""
+        return f"Trace(name={self.name!r}, length={len(self)}, accesses=[{preview}{suffix}])"
+
+    # -------------------------------------------------------------- #
+    def distinct_items(self) -> np.ndarray:
+        """Sorted array of distinct item labels referenced by the trace."""
+        return np.unique(self._accesses)
+
+    @property
+    def footprint(self) -> int:
+        """Number of distinct items referenced (the working-set size)."""
+        return int(self.distinct_items().size)
+
+    def concatenate(self, other: "Trace") -> "Trace":
+        """The trace followed by another trace."""
+        return Trace(
+            np.concatenate([self._accesses, other.accesses]),
+            name=f"{self.name}+{other.name}",
+        )
+
+    def relabelled(self) -> tuple["Trace", dict[int, int]]:
+        """Relabel items densely as ``0..footprint-1`` preserving first-touch order.
+
+        Returns the relabelled trace and the mapping ``old label -> new label``.
+        Useful before feeding traces with sparse address labels to the
+        permutation-based analyses.
+        """
+        mapping: dict[int, int] = {}
+        out = np.empty_like(self._accesses)
+        for pos, item in enumerate(self._accesses):
+            key = int(item)
+            if key not in mapping:
+                mapping[key] = len(mapping)
+            out[pos] = mapping[key]
+        return Trace(out, name=f"{self.name}(relabelled)"), mapping
+
+
+@dataclass(frozen=True)
+class PeriodicTrace:
+    """The paper's periodic trace ``T = A σ(A)`` (Definition 1).
+
+    Attributes
+    ----------
+    sigma:
+        The re-traversal permutation ``σ``; the first traversal is the
+        canonical order ``0, 1, ..., m-1``.
+    items:
+        Optional relabelling of the ``m`` data items; ``items[k]`` is the
+        concrete label of canonical item ``k``.
+    """
+
+    sigma: Permutation
+    items: tuple[int, ...] | None = None
+
+    def __post_init__(self):
+        if self.items is not None and len(self.items) != self.sigma.size:
+            raise ValueError(
+                f"items has length {len(self.items)}, expected {self.sigma.size}"
+            )
+
+    @property
+    def m(self) -> int:
+        """Number of distinct data items."""
+        return self.sigma.size
+
+    def first_traversal(self) -> np.ndarray:
+        """The accesses of ``A`` (canonical or relabelled order)."""
+        base = np.arange(self.m, dtype=np.intp)
+        if self.items is not None:
+            base = np.asarray(self.items, dtype=np.intp)
+        return base
+
+    def second_traversal(self) -> np.ndarray:
+        """The accesses of ``B = σ(A)``."""
+        return self.first_traversal()[np.asarray(self.sigma.one_line, dtype=np.intp)]
+
+    def to_trace(self) -> Trace:
+        """Materialise the concrete ``2m``-access sequence."""
+        return Trace(
+            np.concatenate([self.first_traversal(), self.second_traversal()]),
+            name=f"periodic(m={self.m}, ell={self.sigma.inversions()})",
+        )
+
+    def profile(self):
+        """The closed-form :class:`repro.core.hits.LocalityProfile` of the re-traversal."""
+        return locality_profile(self.sigma)
+
+    @classmethod
+    def cyclic(cls, m: int) -> "PeriodicTrace":
+        """The cyclic (streaming) re-traversal — identity permutation, worst locality."""
+        return cls(Permutation.identity(m))
+
+    @classmethod
+    def sawtooth(cls, m: int) -> "PeriodicTrace":
+        """The sawtooth re-traversal — reverse permutation, best locality."""
+        return cls(Permutation.reverse(m))

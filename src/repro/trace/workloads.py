@@ -1,0 +1,267 @@
+"""Synthetic workload access traces.
+
+The paper motivates symmetric locality with concrete workloads: the STREAM
+micro-benchmark (pure cyclic traversals, Section I), dense linear algebra,
+and the repeated parameter accesses of deep-learning models (Section VI-A).
+These generators build the corresponding data-access traces at the granularity
+of logical data items (array elements or cache blocks), so the library's
+trace-level and permutation-level analyses can be applied to each.
+
+Every generator returns a :class:`~repro.trace.trace.Trace`; data structures
+are laid out in a single flat item namespace and each workload documents its
+layout so traces from the same workload are comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .._util import check_positive_int, ensure_rng
+from ..core.permutation import Permutation
+from .trace import Trace
+
+__all__ = [
+    "stream_copy",
+    "stream_triad",
+    "matrix_multiply_ijk",
+    "matrix_multiply_blocked",
+    "stencil_sweeps",
+    "mlp_parameter_trace",
+    "attention_parameter_trace",
+    "gnn_neighbor_trace",
+]
+
+
+# --------------------------------------------------------------------------- #
+# STREAM kernels (Section I: the canonical cyclic traversals)
+# --------------------------------------------------------------------------- #
+def stream_copy(n: int, *, repetitions: int = 1, block: int = 1) -> Trace:
+    """The STREAM *copy* kernel ``c[i] = a[i]`` at item granularity ``block``.
+
+    Arrays ``a`` and ``c`` each occupy ``ceil(n / block)`` items; every
+    repetition walks both arrays cyclically, which is why STREAM shows no
+    cache reuse — exactly the worst-case re-traversal of the paper.
+    """
+    n = check_positive_int(n, "n")
+    repetitions = check_positive_int(repetitions, "repetitions")
+    block = check_positive_int(block, "block")
+    items_per_array = -(-n // block)
+    a_base, c_base = 0, items_per_array
+    one_pass = []
+    for i in range(n):
+        blk = i // block
+        one_pass.extend([a_base + blk, c_base + blk])
+    return Trace(np.tile(np.asarray(one_pass, dtype=np.intp), repetitions), name="stream_copy")
+
+
+def stream_triad(n: int, *, repetitions: int = 1, block: int = 1) -> Trace:
+    """The STREAM *triad* kernel ``a[i] = b[i] + s * c[i]`` at item granularity ``block``."""
+    n = check_positive_int(n, "n")
+    repetitions = check_positive_int(repetitions, "repetitions")
+    block = check_positive_int(block, "block")
+    items_per_array = -(-n // block)
+    a_base, b_base, c_base = 0, items_per_array, 2 * items_per_array
+    one_pass = []
+    for i in range(n):
+        blk = i // block
+        one_pass.extend([b_base + blk, c_base + blk, a_base + blk])
+    return Trace(np.tile(np.asarray(one_pass, dtype=np.intp), repetitions), name="stream_triad")
+
+
+# --------------------------------------------------------------------------- #
+# Dense linear algebra
+# --------------------------------------------------------------------------- #
+def matrix_multiply_ijk(n: int) -> Trace:
+    """Access trace of the naive triple loop ``C = A @ B`` for ``n × n`` matrices.
+
+    Layout: ``A`` occupies items ``[0, n²)``, ``B`` items ``[n², 2n²)`` and
+    ``C`` items ``[2n², 3n²)``, all row-major.  The inner ``k`` loop reads
+    ``A[i, k]`` and ``B[k, j]`` and accumulates into ``C[i, j]``.
+    """
+    n = check_positive_int(n, "n")
+    n2 = n * n
+    accesses = []
+    for i in range(n):
+        for j in range(n):
+            c_item = 2 * n2 + i * n + j
+            for k in range(n):
+                accesses.append(i * n + k)          # A[i, k]
+                accesses.append(n2 + k * n + j)     # B[k, j]
+                accesses.append(c_item)             # C[i, j] accumulate
+    return Trace(np.asarray(accesses, dtype=np.intp), name=f"matmul_ijk(n={n})")
+
+
+def matrix_multiply_blocked(n: int, tile: int) -> Trace:
+    """Access trace of a tiled matrix multiply with square tiles of size ``tile``.
+
+    Same layout as :func:`matrix_multiply_ijk`; tiling shortens reuse
+    distances of ``B`` and is the classical locality optimisation the paper's
+    framework generalises.
+    """
+    n = check_positive_int(n, "n")
+    tile = check_positive_int(tile, "tile")
+    n2 = n * n
+    accesses = []
+    for ii in range(0, n, tile):
+        for jj in range(0, n, tile):
+            for kk in range(0, n, tile):
+                for i in range(ii, min(ii + tile, n)):
+                    for j in range(jj, min(jj + tile, n)):
+                        c_item = 2 * n2 + i * n + j
+                        for k in range(kk, min(kk + tile, n)):
+                            accesses.append(i * n + k)
+                            accesses.append(n2 + k * n + j)
+                            accesses.append(c_item)
+    return Trace(np.asarray(accesses, dtype=np.intp), name=f"matmul_blocked(n={n}, tile={tile})")
+
+
+def stencil_sweeps(n: int, sweeps: int, *, reverse_odd: bool = False) -> Trace:
+    """1-D three-point stencil over an array of ``n`` cells, repeated ``sweeps`` times.
+
+    Each sweep touches ``x[i-1], x[i], x[i+1]`` for every interior cell.  With
+    ``reverse_odd=True`` odd sweeps run backwards — the sawtooth-style
+    re-traversal a locality-aware scheduler would choose; with ``False`` every
+    sweep is a forward (cyclic) pass.
+    """
+    n = check_positive_int(n, "n")
+    sweeps = check_positive_int(sweeps, "sweeps")
+    accesses = []
+    for s in range(sweeps):
+        interior = range(1, n - 1)
+        if reverse_odd and s % 2 == 1:
+            interior = range(n - 2, 0, -1)
+        for i in interior:
+            accesses.extend([i - 1, i, i + 1])
+    return Trace(np.asarray(accesses, dtype=np.intp), name=f"stencil(n={n}, sweeps={sweeps})")
+
+
+# --------------------------------------------------------------------------- #
+# Deep-learning parameter traces (Section VI-A)
+# --------------------------------------------------------------------------- #
+def mlp_parameter_trace(
+    layer_sizes: Sequence[int],
+    *,
+    passes: int = 2,
+    weight_order: Permutation | None = None,
+    granularity: int = 1,
+) -> Trace:
+    """Parameter-access trace of an MLP forward (and backward) pass.
+
+    Every linear layer's weight matrix is read element-by-element in row-major
+    order on the forward pass; the backward pass re-reads the same parameters.
+    ``weight_order`` optionally permutes the order of the *second* (and every
+    even) pass — the hook by which the Theorem-4 schedule is applied.
+    ``granularity`` groups that many consecutive weights into one data item
+    (modelling cache blocks).
+
+    The trace covers all layers in sequence, which is how the parameters are
+    streamed during training.
+    """
+    if len(layer_sizes) < 2:
+        raise ValueError("an MLP needs at least an input and an output layer")
+    passes = check_positive_int(passes, "passes")
+    granularity = check_positive_int(granularity, "granularity")
+    # item layout: weights of layer k start after all previous layers' weights
+    layer_items: list[np.ndarray] = []
+    base = 0
+    for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:]):
+        count = -(-(fan_in * fan_out) // granularity)
+        layer_items.append(np.arange(base, base + count, dtype=np.intp))
+        base += count
+    all_items = np.concatenate(layer_items)
+    m = all_items.size
+    if weight_order is not None and weight_order.size != m:
+        raise ValueError(
+            f"weight_order acts on {weight_order.size} items but the model has {m} weight items"
+        )
+    passes_list = []
+    for p in range(passes):
+        if weight_order is not None and p % 2 == 1:
+            passes_list.append(all_items[np.asarray(weight_order.one_line, dtype=np.intp)])
+        else:
+            passes_list.append(all_items)
+    return Trace(np.concatenate(passes_list), name=f"mlp(layers={list(layer_sizes)}, passes={passes})")
+
+
+def attention_parameter_trace(
+    d_model: int,
+    num_heads: int,
+    *,
+    passes: int = 2,
+    head_order: Permutation | None = None,
+    granularity: int = 64,
+) -> Trace:
+    """Parameter-access trace of a multi-head attention block.
+
+    The key, query, value and output projection matrices (each
+    ``d_model × d_model``) are read head by head.  ``head_order`` permutes the
+    order in which heads are visited on every even pass — the
+    permutation-equivariant re-ordering the paper proposes for transformers.
+    ``granularity`` groups consecutive weights into one item.
+    """
+    d_model = check_positive_int(d_model, "d_model")
+    num_heads = check_positive_int(num_heads, "num_heads")
+    passes = check_positive_int(passes, "passes")
+    granularity = check_positive_int(granularity, "granularity")
+    if d_model % num_heads:
+        raise ValueError(f"d_model={d_model} must be divisible by num_heads={num_heads}")
+    if head_order is not None and head_order.size != num_heads:
+        raise ValueError(f"head_order must act on {num_heads} heads")
+    head_dim = d_model // num_heads
+    weights_per_head_per_matrix = d_model * head_dim
+    items_per_head = 4 * (-(-weights_per_head_per_matrix // granularity))
+    head_blocks = [
+        np.arange(h * items_per_head, (h + 1) * items_per_head, dtype=np.intp)
+        for h in range(num_heads)
+    ]
+    passes_list = []
+    for p in range(passes):
+        order = range(num_heads)
+        if head_order is not None and p % 2 == 1:
+            order = head_order.one_line
+        passes_list.append(np.concatenate([head_blocks[h] for h in order]))
+    return Trace(
+        np.concatenate(passes_list),
+        name=f"attention(d={d_model}, heads={num_heads}, passes={passes})",
+    )
+
+
+def gnn_neighbor_trace(
+    num_nodes: int,
+    avg_degree: float,
+    *,
+    node_order: Permutation | None = None,
+    rounds: int = 2,
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Feature-access trace of message passing on a random graph.
+
+    Each round visits every node (in ``node_order`` if given, else label
+    order) and reads the feature item of each of its neighbours followed by
+    its own.  Graph-reordering preprocessing (Section VI-C) corresponds to
+    choosing ``node_order`` to improve temporal locality of the neighbour
+    accesses.
+    """
+    num_nodes = check_positive_int(num_nodes, "num_nodes")
+    rounds = check_positive_int(rounds, "rounds")
+    if avg_degree <= 0:
+        raise ValueError(f"avg_degree must be positive, got {avg_degree}")
+    generator = ensure_rng(rng)
+    p = min(avg_degree / max(num_nodes - 1, 1), 1.0)
+    # adjacency sampled once so every round sees the same graph
+    adjacency: list[np.ndarray] = []
+    for u in range(num_nodes):
+        mask = generator.random(num_nodes) < p
+        mask[u] = False
+        adjacency.append(np.nonzero(mask)[0].astype(np.intp))
+    if node_order is not None and node_order.size != num_nodes:
+        raise ValueError(f"node_order must act on {num_nodes} nodes")
+    order = node_order.one_line if node_order is not None else range(num_nodes)
+    accesses: list[int] = []
+    for _ in range(rounds):
+        for u in order:
+            accesses.extend(int(v) for v in adjacency[u])
+            accesses.append(int(u))
+    return Trace(np.asarray(accesses, dtype=np.intp), name=f"gnn(n={num_nodes}, deg={avg_degree})")

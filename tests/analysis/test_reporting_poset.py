@@ -1,0 +1,95 @@
+"""Unit tests for reporting helpers and poset statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    cover_degree_by_rank,
+    expected_cover_degree,
+    format_curve_family,
+    format_series,
+    format_table,
+    rank_generating_function,
+    saturated_chain_count_identity_to_top,
+    whitney_numbers,
+    write_csv,
+)
+from repro.core import mahonian_row, max_inversions
+
+
+class TestReporting:
+    def test_format_table_dict_rows(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}], title="demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "2.5000" in text and "10" in text
+
+    def test_format_table_sequence_rows_requires_headers(self):
+        with pytest.raises(ValueError):
+            format_table([[1, 2]])
+        text = format_table([[1, 2]], headers=["x", "y"])
+        assert "x" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="nothing")
+
+    def test_format_series(self):
+        text = format_series("miss", [1, 2], [0.5, 0.25])
+        assert "miss" in text and "0.2500" in text
+
+    def test_format_curve_family(self):
+        text = format_curve_family("c", [1, 2], {"low": [1.0, 0.9], "high": [0.5, 0.4]}, title="fam")
+        assert "fam" in text and "low" in text and "high" in text
+
+    def test_write_csv_round_trip(self, tmp_path):
+        rows = [{"x": 1, "y": 2}, {"x": 3, "y": 4, "z": 5}]
+        path = write_csv(tmp_path / "out.csv", rows)
+        content = path.read_text()
+        assert content.splitlines()[0] == "x,y,z"
+        assert "3,4,5" in content
+
+    def test_write_csv_empty(self, tmp_path):
+        path = write_csv(tmp_path / "empty.csv", [])
+        assert path.read_text() == ""
+
+
+class TestPosetStats:
+    def test_rank_generating_function_evaluations(self):
+        poly = rank_generating_function(5)
+        assert poly(1.0) == pytest.approx(math.factorial(5))
+        assert list(poly.coef) == pytest.approx(list(mahonian_row(5)))
+
+    def test_whitney_numbers(self):
+        assert whitney_numbers(4) == list(mahonian_row(4))
+
+    def test_cover_degree_by_rank(self):
+        stats = cover_degree_by_rank(4)
+        assert sorted(stats) == list(range(max_inversions(4) + 1))
+        assert stats[0]["min"] == stats[0]["max"] == 3  # identity has m-1 covers
+        assert stats[max_inversions(4)]["max"] == 0     # top has none
+        assert sum(level["count"] for level in stats.values()) == 24
+
+    def test_expected_cover_degree_positive(self):
+        value = expected_cover_degree(10, samples=50, rng=0)
+        assert 0 < value < 10 * 9 / 2
+
+    def test_saturated_chain_count_s3_by_hand(self):
+        # S_3 Bruhat order: identity is covered by both length-1 elements,
+        # each of which is covered by both length-2 elements, which are both
+        # covered by the top: 2 * 2 * 1 = 4 maximal chains.
+        assert saturated_chain_count_identity_to_top(3) == 4
+
+    def test_saturated_chain_count_matches_covering_graph_dp(self):
+        from repro.core import Permutation, build_covering_graph, count_maximal_chains
+
+        for m in (3, 4):
+            graph = build_covering_graph(m)
+            expected = count_maximal_chains(graph, Permutation.identity(m), Permutation.reverse(m))
+            assert saturated_chain_count_identity_to_top(m) == expected
+
+    def test_saturated_chain_count_limit(self):
+        with pytest.raises(ValueError):
+            saturated_chain_count_identity_to_top(8)

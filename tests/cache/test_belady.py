@@ -1,0 +1,64 @@
+"""Unit tests for Belady-OPT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import BeladyCache, LRUCache, simulate_opt
+from repro.trace import PeriodicTrace, zipfian_trace
+
+
+class TestOPT:
+    def test_simple_known_trace(self):
+        # capacity 2, trace 0 1 2 0 1: OPT keeps 0 and 1 (evicts 2 is not possible;
+        # at the miss on 2 it evicts the item whose next use is farthest)
+        stats = simulate_opt([0, 1, 2, 0, 1], 2)
+        assert stats.misses == 4 or stats.misses == 3
+        # exact: accesses 0,1 miss; 2 misses and evicts 1 (next use farther than 0);
+        # 0 hits; 1 misses => 4 misses, 1 hit
+        assert stats.hits == 1
+
+    def test_opt_never_worse_than_lru(self, rng):
+        for _ in range(5):
+            trace = zipfian_trace(400, 50, rng=rng).accesses
+            for capacity in (4, 16, 32):
+                opt = simulate_opt(trace, capacity)
+                lru = LRUCache(capacity).run(trace.tolist())
+                assert opt.misses <= lru.misses
+
+    def test_opt_equals_lru_on_sawtooth(self):
+        # sawtooth re-traversals are already optimally ordered for recency:
+        # LRU achieves the OPT hit count at every cache size
+        trace = PeriodicTrace.sawtooth(16).to_trace().accesses
+        for capacity in range(1, 17):
+            assert simulate_opt(trace, capacity).hits == LRUCache(capacity).run(trace.tolist()).hits
+
+    def test_opt_beats_lru_on_cyclic(self):
+        # the classic result: LRU thrashes on a cyclic re-traversal while OPT
+        # keeps a useful subset
+        trace = PeriodicTrace.cyclic(16).to_trace().accesses
+        capacity = 8
+        assert simulate_opt(trace, capacity).hits > LRUCache(capacity).run(trace.tolist()).hits
+
+    def test_cold_misses_always_counted(self, rng):
+        trace = rng.permutation(50)
+        stats = simulate_opt(trace, 10)
+        assert stats.misses == 50
+        assert stats.hits == 0
+
+    def test_empty_trace(self):
+        stats = simulate_opt([], 4)
+        assert stats.accesses == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            simulate_opt([1, 2], 0)
+
+    def test_wrapper_object(self):
+        cache = BeladyCache(4)
+        assert cache.name == "opt"
+        stats = cache.run(np.asarray([0, 1, 0, 2, 1]))
+        assert stats.accesses == 5
+        cache.reset()
+        assert cache.stats.accesses == 0

@@ -1,0 +1,118 @@
+"""Unit tests for the footprint / timescale locality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    data_movement_distance,
+    footprint,
+    footprint_curve,
+    miss_ratio_from_footprint,
+    mrc_from_trace,
+)
+from repro.trace import PeriodicTrace, zipfian_trace
+
+
+def brute_force_footprint(trace, window: int) -> float:
+    trace = list(trace)
+    n = len(trace)
+    if window == 0:
+        return 0.0
+    values = [len(set(trace[i : i + window])) for i in range(n - window + 1)]
+    return sum(values) / len(values)
+
+
+class TestFootprintCurve:
+    def test_matches_brute_force_on_random_traces(self, rng):
+        for _ in range(8):
+            n = int(rng.integers(1, 40))
+            items = int(rng.integers(1, 8))
+            trace = rng.integers(0, items, n)
+            curve = footprint_curve(trace)
+            for w in range(n + 1):
+                assert curve[w] == pytest.approx(brute_force_footprint(trace, w))
+
+    def test_boundary_values(self):
+        trace = [0, 1, 2, 2, 1, 0]
+        curve = footprint_curve(trace)
+        assert curve[0] == 0.0
+        assert curve[1] == 1.0
+        assert curve[-1] == 3.0  # full-trace window sees the whole footprint
+
+    def test_monotone_nondecreasing(self, rng):
+        trace = zipfian_trace(300, 40, rng=rng).accesses
+        curve = footprint_curve(trace)
+        assert np.all(np.diff(curve) >= -1e-9)
+
+    def test_single_item_trace(self):
+        curve = footprint_curve([5, 5, 5, 5])
+        assert np.allclose(curve[1:], 1.0)
+
+    def test_empty_trace(self):
+        assert footprint_curve([]).tolist() == [0.0]
+
+    def test_footprint_scalar_accessor(self):
+        trace = [0, 1, 0, 1]
+        assert footprint(trace, 2) == pytest.approx(brute_force_footprint(trace, 2))
+        assert footprint(trace, 100) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            footprint(trace, -1)
+
+    def test_cyclic_retraversal_footprint_is_linear(self):
+        m = 16
+        curve = footprint_curve(PeriodicTrace.cyclic(m).to_trace().accesses)
+        # windows shorter than the period see w distinct items exactly
+        for w in range(1, m + 1):
+            assert curve[w] == pytest.approx(w, abs=1e-9) or curve[w] <= w
+
+
+class TestMissRatioFromFootprint:
+    def test_cache_size_validation(self):
+        with pytest.raises(ValueError):
+            miss_ratio_from_footprint([0, 1, 0], 0)
+
+    def test_zero_when_cache_holds_everything(self):
+        trace = PeriodicTrace.sawtooth(16).to_trace().accesses
+        assert miss_ratio_from_footprint(trace, 16) == 0.0
+
+    def test_roughly_tracks_exact_mrc_on_zipf_trace(self, rng):
+        trace = zipfian_trace(4000, 128, exponent=1.0, rng=rng).accesses
+        exact = mrc_from_trace(trace)
+        for c in (8, 32, 64):
+            estimate = miss_ratio_from_footprint(trace, c)
+            assert 0.0 <= estimate <= 1.0
+            assert abs(estimate - exact[c]) < 0.25  # Xiang conversion is approximate
+
+    def test_ordering_cyclic_vs_sawtooth(self):
+        m, c = 64, 32
+        cyc = miss_ratio_from_footprint(PeriodicTrace.cyclic(m).to_trace().accesses, c)
+        saw = miss_ratio_from_footprint(PeriodicTrace.sawtooth(m).to_trace().accesses, c)
+        assert saw <= cyc
+
+
+class TestDataMovementDistance:
+    def test_empty_trace(self):
+        assert data_movement_distance([]) == 0.0
+
+    def test_sawtooth_cheaper_than_cyclic(self):
+        for m in (8, 32, 128):
+            cyc = data_movement_distance(PeriodicTrace.cyclic(m).to_trace().accesses)
+            saw = data_movement_distance(PeriodicTrace.sawtooth(m).to_trace().accesses)
+            assert saw < cyc
+
+    def test_monotone_in_inversions_on_average(self, rng):
+        from repro.trace import fixed_inversion_retraversal
+
+        m = 32
+        low = fixed_inversion_retraversal(m, 50, rng)
+        high = fixed_inversion_retraversal(m, 400, rng)
+        assert data_movement_distance(high.to_trace().accesses) < data_movement_distance(
+            low.to_trace().accesses
+        )
+
+    def test_known_value_single_reuse(self):
+        # trace 0 0: one cold access (footprint 1 -> cost 1) + one reuse at
+        # stack distance 1 (cost 1)
+        assert data_movement_distance([0, 0]) == pytest.approx(2.0)

@@ -1,0 +1,172 @@
+"""Unit tests for the fully-associative cache policies (LRU, FIFO, random)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheStats, FIFOCache, LRUCache, RandomCache, simulate_trace
+
+
+class TestCacheStats:
+    def test_record_and_ratios(self):
+        stats = CacheStats()
+        stats.record(1, True)
+        stats.record(2, False)
+        stats.record(1, True)
+        assert stats.accesses == 3
+        assert stats.hits == 2 and stats.misses == 1
+        assert stats.hit_ratio == pytest.approx(2 / 3)
+        assert stats.miss_ratio == pytest.approx(1 / 3)
+        assert stats.per_item_hits == {1: 2}
+
+    def test_empty_ratios(self):
+        stats = CacheStats()
+        assert stats.hit_ratio == 0.0
+        assert stats.miss_ratio == 0.0
+
+    def test_merge(self):
+        a = CacheStats(accesses=2, hits=1, misses=1, evictions=0, per_item_hits={1: 1})
+        b = CacheStats(accesses=3, hits=2, misses=1, evictions=1, per_item_hits={1: 1, 2: 1})
+        merged = a.merge(b)
+        assert merged.accesses == 5
+        assert merged.hits == 3
+        assert merged.evictions == 1
+        assert merged.per_item_hits == {1: 2, 2: 1}
+
+
+class TestLRU:
+    def test_basic_hit_miss_sequence(self):
+        cache = LRUCache(2)
+        results = [cache.access(x) for x in [0, 1, 0, 2, 1]]
+        assert results == [False, False, True, False, False]
+
+    def test_eviction_order_is_lru_not_fifo(self):
+        cache = LRUCache(2)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # 0 becomes MRU; 1 is now LRU
+        cache.access(2)  # evicts 1
+        assert cache.contents() == {0, 2}
+        assert cache.access(1) is False
+
+    def test_capacity_respected(self):
+        cache = LRUCache(3)
+        for item in range(10):
+            cache.access(item)
+        assert len(cache.contents()) == 3
+        assert cache.contents() == {7, 8, 9}
+
+    def test_recency_order(self):
+        cache = LRUCache(3)
+        for item in [5, 6, 7, 5]:
+            cache.access(item)
+        assert cache.recency_order() == [6, 7, 5]
+
+    def test_reset(self):
+        cache = LRUCache(2)
+        cache.run([0, 1, 0])
+        cache.reset()
+        assert cache.contents() == set()
+        assert cache.stats.accesses == 0
+
+    def test_run_records_stats(self):
+        cache = LRUCache(2)
+        stats = cache.run([0, 1, 0, 2, 0])
+        assert stats.accesses == 5
+        assert stats.hits == 2
+        assert stats.evictions >= 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+        with pytest.raises(TypeError):
+            LRUCache("four")
+
+    def test_name(self):
+        assert LRUCache(1).name == "lru"
+
+    def test_single_entry_cache(self):
+        cache = LRUCache(1)
+        assert cache.access(3) is False
+        assert cache.access(3) is True
+        assert cache.access(4) is False
+        assert cache.access(3) is False
+
+
+class TestFIFO:
+    def test_fifo_ignores_recency(self):
+        # same access pattern as the LRU test, but FIFO evicts 0 (inserted first)
+        cache = FIFOCache(2)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # hit, but does not refresh insertion order
+        cache.access(2)  # evicts 0
+        assert cache.contents() == {1, 2}
+
+    def test_fifo_hits_on_resident(self):
+        cache = FIFOCache(3)
+        results = [cache.access(x) for x in [1, 2, 3, 1, 2, 3]]
+        assert results == [False, False, False, True, True, True]
+
+    def test_fifo_differs_from_lru_on_some_trace(self):
+        trace = [0, 1, 0, 2, 1, 0]
+        lru = simulate_trace(LRUCache(2), trace)
+        fifo = simulate_trace(FIFOCache(2), trace)
+        assert lru.hits != fifo.hits
+
+    def test_name_and_reset(self):
+        cache = FIFOCache(2)
+        assert cache.name == "fifo"
+        cache.run([1, 2, 3])
+        cache.reset()
+        assert cache.contents() == set()
+
+
+class TestRandom:
+    def test_reproducible_with_seed(self):
+        trace = list(np.random.default_rng(0).integers(0, 20, 200))
+        a = RandomCache(5, rng=7).run(trace)
+        b = RandomCache(5, rng=7).run(trace)
+        assert a.hits == b.hits
+
+    def test_capacity_respected(self, rng):
+        cache = RandomCache(4, rng=rng)
+        for item in range(50):
+            cache.access(item)
+        assert len(cache.contents()) == 4
+
+    def test_hits_on_resident_items(self, rng):
+        cache = RandomCache(3, rng=rng)
+        cache.access(1)
+        assert cache.access(1) is True
+
+    def test_internal_index_consistency_after_evictions(self, rng):
+        cache = RandomCache(3, rng=rng)
+        for item in [0, 1, 2, 3, 4, 2, 5, 1, 6, 0, 7]:
+            cache.access(item)
+        # every resident item must report a hit immediately after
+        for item in cache.contents():
+            assert cache.access(item) is True
+
+    def test_reset(self, rng):
+        cache = RandomCache(2, rng=rng)
+        cache.run([1, 2, 3])
+        cache.reset()
+        assert cache.contents() == set()
+
+    def test_name(self):
+        assert RandomCache(2).name == "random"
+
+
+class TestSimulateTrace:
+    def test_resets_before_running(self):
+        cache = LRUCache(2)
+        cache.run([0, 1])
+        stats = simulate_trace(cache, [0, 1, 0])
+        assert stats.accesses == 3
+        assert stats.hits == 1  # 0 and 1 are cold again after the reset
+
+    def test_accepts_numpy_arrays(self):
+        stats = simulate_trace(LRUCache(2), np.asarray([0, 1, 0, 1]))
+        assert stats.hits == 2

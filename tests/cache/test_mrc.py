@@ -1,0 +1,76 @@
+"""Unit tests for miss-ratio-curve construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import MissRatioCurve, average_curves, mrc_by_simulation, mrc_from_trace
+from repro.core import Permutation, miss_ratio_curve
+from repro.trace import PeriodicTrace, zipfian_trace
+
+
+class TestMissRatioCurve:
+    def test_from_periodic_trace_matches_closed_form(self):
+        sigma = Permutation([3, 1, 0, 2, 4])
+        curve = mrc_from_trace(PeriodicTrace(sigma).to_trace().accesses)
+        closed = miss_ratio_curve(sigma, convention="full")
+        assert np.allclose(curve.as_array(), closed)
+
+    def test_matches_per_size_simulation(self, rng):
+        trace = zipfian_trace(300, 40, rng=rng).accesses
+        curve = mrc_from_trace(trace)
+        sim = mrc_by_simulation(trace, [1, 2, 5, 20, 40])
+        for c, ratio in sim.items():
+            assert curve[c] == pytest.approx(ratio)
+
+    def test_monotone_nonincreasing(self, rng):
+        trace = zipfian_trace(500, 60, rng=rng).accesses
+        curve = curve_array = mrc_from_trace(trace).as_array()
+        assert np.all(np.diff(curve_array) <= 1e-12)
+
+    def test_indexing_and_clamping(self):
+        curve = MissRatioCurve(ratios=(1.0, 0.5, 0.25), accesses=8)
+        assert curve[1] == 1.0
+        assert curve[3] == 0.25
+        assert curve[100] == 0.25
+        with pytest.raises(ValueError):
+            curve[0]
+
+    def test_footprint_target(self):
+        curve = MissRatioCurve(ratios=(0.9, 0.6, 0.2), accesses=10)
+        assert curve.footprint(0.5) == 3
+        assert curve.footprint(0.95) == 1
+        assert curve.footprint(0.1) is None
+
+    def test_max_cache_size_argument(self, rng):
+        trace = zipfian_trace(100, 30, rng=rng).accesses
+        curve = mrc_from_trace(trace, max_cache_size=7)
+        assert curve.max_cache_size == 7
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            mrc_from_trace([])
+
+
+class TestAverageCurves:
+    def test_average_of_identical_curves(self):
+        curve = [1.0, 0.5, 0.0]
+        assert np.allclose(average_curves([curve, curve]), curve)
+
+    def test_elementwise_mean(self):
+        result = average_curves([[1.0, 0.0], [0.0, 1.0]])
+        assert np.allclose(result, [0.5, 0.5])
+
+    def test_accepts_missratiocurve_objects(self):
+        a = MissRatioCurve(ratios=(1.0, 0.0), accesses=2)
+        b = MissRatioCurve(ratios=(0.0, 1.0), accesses=2)
+        assert np.allclose(average_curves([a, b]), [0.5, 0.5])
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            average_curves([[1.0, 0.5], [1.0]])
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            average_curves([])

@@ -1,0 +1,115 @@
+"""Unit tests for the set-associative cache and the cache hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import CacheHierarchy, LRUCache, SetAssociativeCache
+from repro.trace import PeriodicTrace
+
+
+class TestSetAssociative:
+    def test_total_capacity(self):
+        cache = SetAssociativeCache(4, 2)
+        assert cache.capacity == 8
+        assert cache.name == "2-way-lru"
+
+    def test_single_set_equals_fully_associative(self):
+        trace = PeriodicTrace.sawtooth(12).to_trace().accesses.tolist()
+        sa = SetAssociativeCache(1, 6)
+        fa = LRUCache(6)
+        assert sa.run(trace).hits == fa.run(trace).hits
+
+    def test_direct_mapped_conflicts(self):
+        # two items mapping to the same set keep evicting each other
+        cache = SetAssociativeCache(4, 1)
+        results = [cache.access(x) for x in [0, 4, 0, 4]]
+        assert results == [False, False, False, False]
+        # items in different sets coexist
+        assert cache.access(1) is False
+        assert cache.access(1) is True
+
+    def test_conflict_misses_exceed_fully_associative(self):
+        # a strided trace hammering one set: set-associative misses more
+        trace = [0, 8, 16, 24] * 10
+        sa = SetAssociativeCache(8, 1)
+        fa = LRUCache(8)
+        assert sa.run(list(trace)).misses >= fa.run(list(trace)).misses
+
+    def test_custom_index_function(self):
+        cache = SetAssociativeCache(2, 1, index_function=lambda item: item // 100)
+        cache.access(5)
+        cache.access(105)
+        assert cache.contents() == {5, 105}
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(2, 2, policy="mru")
+
+    def test_fifo_and_random_policies_run(self):
+        trace = PeriodicTrace.cyclic(16).to_trace().accesses.tolist()
+        for policy in ("fifo", "random"):
+            cache = SetAssociativeCache(4, 2, policy=policy, rng=0)
+            stats = cache.run(list(trace))
+            assert stats.accesses == len(trace)
+
+    def test_reset(self):
+        cache = SetAssociativeCache(2, 2)
+        cache.run([1, 2, 3, 4])
+        cache.reset()
+        assert cache.contents() == set()
+
+
+class TestHierarchy:
+    def test_requires_levels(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    def test_levels_from_capacities(self):
+        hierarchy = CacheHierarchy([4, 16])
+        assert [lvl.capacity for lvl in hierarchy.levels] == [4, 16]
+
+    def test_l2_sees_only_l1_misses(self):
+        hierarchy = CacheHierarchy([2, 8])
+        trace = PeriodicTrace.sawtooth(8).to_trace().accesses.tolist()
+        results = hierarchy.run(trace)
+        l1, l2 = results
+        assert l1.accesses == len(trace)
+        assert l2.accesses == l1.misses
+
+    def test_access_returns_hit_level(self):
+        hierarchy = CacheHierarchy([1, 4])
+        assert hierarchy.access(0) == 2      # cold: misses everywhere
+        assert hierarchy.access(0) == 0      # now in L1
+        hierarchy.access(1)
+        hierarchy.access(2)  # pushes 0 and 1 out of the 1-entry L1
+        assert hierarchy.access(0) == 1      # still in L2
+
+    def test_amat_between_latencies(self):
+        hierarchy = CacheHierarchy([4, 16], hit_latencies=[1.0, 10.0], memory_latency=100.0)
+        hierarchy.run(PeriodicTrace.sawtooth(32).to_trace().accesses.tolist())
+        assert 1.0 <= hierarchy.amat() <= 100.0
+
+    def test_amat_improves_with_locality(self):
+        good = CacheHierarchy([8, 32])
+        bad = CacheHierarchy([8, 32])
+        m = 64
+        good.run(PeriodicTrace.sawtooth(m).to_trace().accesses.tolist())
+        bad.run(PeriodicTrace.cyclic(m).to_trace().accesses.tolist())
+        assert good.amat() < bad.amat()
+
+    def test_latency_validation(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([4, 8], hit_latencies=[1.0])
+
+    def test_reset(self):
+        hierarchy = CacheHierarchy([2, 4])
+        hierarchy.run([0, 1, 2, 0])
+        hierarchy.reset()
+        assert hierarchy.amat() == 0.0
+        assert all(lvl.stats.accesses == 0 for lvl in hierarchy.levels)
+
+    def test_accepts_prebuilt_models(self):
+        hierarchy = CacheHierarchy([LRUCache(2), LRUCache(8)])
+        hierarchy.run([0, 1, 0])
+        assert hierarchy.levels[0].stats.accesses == 3

@@ -1,0 +1,107 @@
+"""Unit tests for the trace-level stack-distance algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    COLD,
+    LRUCache,
+    hit_counts,
+    reuse_intervals,
+    stack_distance_histogram,
+    stack_distances,
+    stack_distances_naive,
+)
+from repro.core import Permutation, random_permutation, stack_distances as periodic_stack_distances
+from repro.trace import PeriodicTrace, zipfian_trace
+
+
+class TestReuseIntervals:
+    def test_paper_example_abcabc(self):
+        # Definition 4: in abcabc the (second) a has interval 2 distinct... the
+        # count of accesses strictly between the two a's is 2 here because we
+        # assign the interval to the later access: positions 0 and 3.
+        intervals = reuse_intervals([0, 1, 2, 0, 1, 2])
+        assert intervals.tolist()[:3] == [COLD, COLD, COLD]
+        assert intervals.tolist()[3:] == [2, 2, 2]
+
+    def test_adjacent_repeat(self):
+        assert reuse_intervals([7, 7]).tolist() == [COLD, 0]
+
+    def test_empty(self):
+        assert reuse_intervals([]).size == 0
+
+    def test_rejects_float_trace(self):
+        with pytest.raises(TypeError):
+            reuse_intervals(np.asarray([0.5, 1.5]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            reuse_intervals(np.zeros((2, 2), dtype=int))
+
+
+class TestStackDistances:
+    def test_known_trace(self):
+        # a b c c b a: stack distances of the second half are 1, 2, 3
+        distances = stack_distances([0, 1, 2, 2, 1, 0])
+        assert distances.tolist() == [COLD, COLD, COLD, 1, 2, 3]
+
+    def test_abcabc(self):
+        distances = stack_distances([0, 1, 2, 0, 1, 2])
+        assert distances.tolist() == [COLD, COLD, COLD, 3, 3, 3]
+
+    def test_fenwick_matches_naive_on_random_traces(self, rng):
+        for _ in range(10):
+            trace = rng.integers(0, 25, size=int(rng.integers(1, 300)))
+            assert np.array_equal(stack_distances(trace), stack_distances_naive(trace))
+
+    def test_matches_periodic_closed_form(self, rng):
+        for _ in range(5):
+            sigma = random_permutation(20, rng)
+            trace = PeriodicTrace(sigma).to_trace().accesses
+            measured = stack_distances(trace)[20:]
+            assert np.array_equal(measured, periodic_stack_distances(sigma))
+
+    def test_repeated_single_item(self):
+        distances = stack_distances([3] * 5)
+        assert distances.tolist() == [COLD, 1, 1, 1, 1]
+
+    def test_empty(self):
+        assert stack_distances([]).size == 0
+
+
+class TestHistogramAndHits:
+    def test_histogram_counts_and_cold(self):
+        hist, cold = stack_distance_histogram([0, 1, 2, 2, 1, 0])
+        assert cold == 3
+        assert hist.tolist() == [1, 1, 1]
+
+    def test_histogram_max_distance_truncation(self):
+        hist, cold = stack_distance_histogram([0, 1, 2, 2, 1, 0], max_distance=2)
+        assert hist.tolist() == [1, 1]
+        assert cold == 3
+
+    def test_hit_counts_match_lru_simulation(self, rng):
+        trace = zipfian_trace(300, 30, rng=rng).accesses
+        hits = hit_counts(trace)
+        for c in (1, 3, 10, 30):
+            assert int(hits[c - 1]) == LRUCache(c).run(trace.tolist()).hits
+
+    def test_hit_counts_monotone(self, rng):
+        trace = zipfian_trace(200, 25, rng=rng).accesses
+        hits = hit_counts(trace)
+        assert np.all(np.diff(hits) >= 0)
+
+    def test_hit_counts_custom_max_cache_size(self, rng):
+        trace = zipfian_trace(100, 20, rng=rng).accesses
+        hits = hit_counts(trace, max_cache_size=5)
+        assert hits.size == 5
+
+    def test_hit_counts_empty_trace(self):
+        assert hit_counts([]).size == 0
+
+    def test_all_cold_trace(self):
+        hits = hit_counts(list(range(10)))
+        assert hits.tolist() == [0] * 10

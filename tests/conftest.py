@@ -1,0 +1,32 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Permutation, all_permutations
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def s3() -> list[Permutation]:
+    """Every permutation of S_3."""
+    return list(all_permutations(3))
+
+
+@pytest.fixture(scope="session")
+def s4() -> list[Permutation]:
+    """Every permutation of S_4."""
+    return list(all_permutations(4))
+
+
+@pytest.fixture(scope="session")
+def s5() -> list[Permutation]:
+    """Every permutation of S_5."""
+    return list(all_permutations(5))

@@ -1,0 +1,186 @@
+"""Unit tests for repro.core.bruhat."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    Permutation,
+    all_permutations,
+    bruhat_leq,
+    bruhat_less,
+    cocovers,
+    covering_transpositions,
+    covers,
+    interval,
+    is_covering,
+    max_inversions,
+    weak_covers,
+    weak_order_leq,
+)
+
+
+class TestBruhatComparison:
+    def test_reflexive(self, s4):
+        for sigma in s4:
+            assert bruhat_leq(sigma, sigma)
+            assert not bruhat_less(sigma, sigma)
+
+    def test_identity_is_bottom(self, s4):
+        e = Permutation.identity(4)
+        for sigma in s4:
+            assert bruhat_leq(e, sigma)
+
+    def test_reverse_is_top(self, s4):
+        w0 = Permutation.reverse(4)
+        for sigma in s4:
+            assert bruhat_leq(sigma, w0)
+
+    def test_antisymmetric(self, s4):
+        for sigma, tau in itertools.product(s4, repeat=2):
+            if bruhat_leq(sigma, tau) and bruhat_leq(tau, sigma):
+                assert sigma == tau
+
+    def test_respects_length(self, s4):
+        for sigma, tau in itertools.product(s4, repeat=2):
+            if bruhat_less(sigma, tau):
+                assert sigma.inversions() < tau.inversions()
+
+    def test_transitive_sample(self, s3):
+        for a, b, c in itertools.product(s3, repeat=3):
+            if bruhat_leq(a, b) and bruhat_leq(b, c):
+                assert bruhat_leq(a, c)
+
+    def test_subword_property_example_from_paper(self):
+        # sigma = (13), tau = (14)(13) in 1-indexed cycle notation: sigma <= tau
+        sigma = Permutation.from_cycles(4, [(1, 3)], one_indexed=True)
+        tau = Permutation.from_cycles(4, [(1, 4), (1, 3)], one_indexed=True)
+        assert sigma.inversions() == 3
+        assert tau.inversions() == 4
+        assert bruhat_less(sigma, tau)
+        assert is_covering(sigma, tau)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            bruhat_leq(Permutation.identity(3), Permutation.identity(4))
+
+    def test_incomparable_pair_exists(self, s4):
+        incomparable = [
+            (s, t)
+            for s, t in itertools.combinations(s4, 2)
+            if not bruhat_leq(s, t) and not bruhat_leq(t, s)
+        ]
+        assert incomparable, "S_4 must contain incomparable pairs"
+
+
+class TestCoveringRelation:
+    def test_covers_add_exactly_one_inversion(self, s4):
+        for sigma in s4:
+            for tau in covers(sigma):
+                assert tau.inversions() == sigma.inversions() + 1
+                assert bruhat_less(sigma, tau)
+
+    def test_is_covering_consistent_with_enumeration(self, s4):
+        for sigma, tau in itertools.product(s4, repeat=2):
+            expected = tau in covers(sigma)
+            assert is_covering(sigma, tau) == expected
+
+    def test_cover_is_transposition_of_two_positions(self, s4):
+        for sigma in s4:
+            for i, j in covering_transpositions(sigma):
+                assert i < j
+                tau = sigma.swap_positions(i, j)
+                assert is_covering(sigma, tau)
+
+    def test_identity_covers_are_adjacent_transpositions(self):
+        e = Permutation.identity(5)
+        ups = covers(e)
+        assert len(ups) == 4
+        for tau in ups:
+            assert tau.inversions() == 1
+
+    def test_top_has_no_covers(self):
+        assert covers(Permutation.reverse(5)) == []
+
+    def test_bottom_has_no_cocovers(self):
+        assert cocovers(Permutation.identity(5)) == []
+
+    def test_cocovers_inverse_of_covers(self, s4):
+        for sigma in s4:
+            for tau in covers(sigma):
+                assert sigma in cocovers(tau)
+            for rho in cocovers(sigma):
+                assert sigma in covers(rho)
+
+    def test_covering_count_matches_known_s3(self):
+        # S_3 Bruhat covering graph has 8 edges
+        edges = sum(len(covers(sigma)) for sigma in all_permutations(3))
+        assert edges == 8
+
+    def test_is_covering_rejects_non_transposition_pairs(self):
+        a = Permutation.identity(4)
+        b = Permutation([1, 2, 0, 3])  # 3-cycle, differs in 3 positions
+        assert not is_covering(a, b)
+
+    def test_is_covering_rejects_downward_swap(self):
+        a = Permutation([1, 0, 2])
+        b = Permutation.identity(3)
+        assert not is_covering(a, b)
+
+
+class TestWeakOrder:
+    def test_weak_implies_bruhat(self, s4):
+        for sigma, tau in itertools.product(s4, repeat=2):
+            if weak_order_leq(sigma, tau):
+                assert bruhat_leq(sigma, tau)
+
+    def test_bruhat_not_always_weak(self, s4):
+        strictly_weaker = [
+            (s, t)
+            for s, t in itertools.product(s4, repeat=2)
+            if bruhat_leq(s, t) and not weak_order_leq(s, t)
+        ]
+        assert strictly_weaker, "the weak order must be strictly finer than Bruhat on S_4"
+
+    def test_weak_covers_are_adjacent_swaps(self, s4):
+        for sigma in s4:
+            for tau in weak_covers(sigma):
+                assert tau.inversions() == sigma.inversions() + 1
+                diff = [i for i in range(4) if sigma[i] != tau[i]]
+                assert len(diff) == 2 and diff[1] == diff[0] + 1
+
+    def test_weak_order_chain_to_top(self):
+        current = Permutation.identity(5)
+        steps = 0
+        while not current.is_reverse():
+            ups = weak_covers(current)
+            assert ups
+            current = ups[0]
+            steps += 1
+        assert steps == max_inversions(5)
+
+
+class TestInterval:
+    def test_full_interval_is_whole_group(self, s3):
+        full = interval(Permutation.identity(3), Permutation.reverse(3))
+        assert len(full) == 6
+
+    def test_empty_when_incomparable(self):
+        sigma = Permutation([1, 0, 3, 2])
+        tau = Permutation([0, 2, 1, 3])
+        if not bruhat_leq(sigma, tau):
+            assert interval(sigma, tau) == []
+
+    def test_interval_endpoints_included(self, s4):
+        sigma = Permutation.identity(4)
+        tau = Permutation([1, 0, 3, 2])
+        result = interval(sigma, tau)
+        assert sigma in result and tau in result
+        for x in result:
+            assert bruhat_leq(sigma, x) and bruhat_leq(x, tau)
+
+    def test_singleton_interval(self):
+        sigma = Permutation([2, 0, 1])
+        assert interval(sigma, sigma) == [sigma]

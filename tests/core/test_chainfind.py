@@ -1,0 +1,145 @@
+"""Unit tests for repro.core.chainfind — Algorithm 2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MissRatioLabeling,
+    Permutation,
+    RandomTiebreakLabeling,
+    TransposedLabeling,
+    chain_find,
+    chain_hit_matrix,
+    count_tie_events,
+    max_inversions,
+    random_permutation,
+)
+from repro.core.feasibility import DependencyDAG, feasibility_predicate, is_feasible
+
+
+class TestChainFindBasics:
+    @pytest.mark.parametrize("m", [2, 3, 4, 5, 6])
+    def test_reaches_sawtooth_from_identity(self, m):
+        result = chain_find(Permutation.identity(m))
+        assert result.end.is_reverse()
+        assert result.length == max_inversions(m)
+        assert result.stopped_reason == "top"
+        assert result.is_saturated()
+
+    def test_chain_starts_at_start(self):
+        start = Permutation([1, 0, 2, 3])
+        result = chain_find(start)
+        assert result.start == start
+        assert result.chain[0] == start
+
+    def test_start_at_top_yields_trivial_chain(self):
+        result = chain_find(Permutation.reverse(5))
+        assert result.length == 0
+        assert result.stopped_reason == "top"
+        assert result.tie_multiplicities == []
+
+    def test_inversion_numbers_consecutive(self):
+        result = chain_find(Permutation.identity(5))
+        ells = result.inversion_numbers()
+        assert ells == list(range(0, max_inversions(5) + 1))
+
+    def test_max_steps_cap(self):
+        result = chain_find(Permutation.identity(6), max_steps=4)
+        assert result.length == 4
+        assert result.stopped_reason == "max_steps"
+
+    def test_labels_recorded_per_step(self):
+        result = chain_find(Permutation.identity(4))
+        assert len(result.labels) == result.length
+        assert len(result.tie_multiplicities) == result.length
+
+    def test_invalid_tie_break(self):
+        with pytest.raises(ValueError):
+            chain_find(Permutation.identity(3), tie_break="bogus")
+
+    def test_random_tie_break_reproducible(self):
+        a = chain_find(Permutation.identity(6), tie_break="random", rng=42)
+        b = chain_find(Permutation.identity(6), tie_break="random", rng=42)
+        assert a.chain == b.chain
+
+    def test_random_start(self, rng):
+        start = random_permutation(7, rng)
+        result = chain_find(start)
+        assert result.end.is_reverse()
+        assert result.length == max_inversions(7) - start.inversions()
+
+
+class TestTheorem3AlongChains:
+    def test_hit_matrix_rows_dominate(self):
+        result = chain_find(Permutation.identity(5))
+        matrix = chain_hit_matrix(result)
+        diffs = np.diff(matrix, axis=0)
+        assert np.all(diffs >= 0)
+        # each covering step adds exactly one hit below cache size m
+        assert np.all(diffs[:, :-1].sum(axis=1) == 1)
+
+    def test_final_row_is_sawtooth_hits(self):
+        result = chain_find(Permutation.identity(4))
+        matrix = chain_hit_matrix(result)
+        assert matrix[-1].tolist() == [1, 2, 3, 4]
+
+
+class TestTies:
+    def test_tie_statistics_consistency(self):
+        result = chain_find(Permutation.identity(5))
+        assert result.arbitrary_choice_count == sum(1 for k in result.tie_multiplicities if k > 1)
+        product = 1
+        for k in result.tie_multiplicities:
+            product *= k
+        assert result.chain_multiplicity == product
+
+    def test_count_tie_events_driver(self):
+        stats = count_tie_events(5)
+        assert stats["m"] == 5
+        assert stats["chain_length"] == max_inversions(5)
+        assert stats["arbitrary_choices"] >= 1
+        assert stats["chain_multiplicity"] >= 2
+
+    def test_good_labeling_eliminates_ties(self):
+        result = chain_find(Permutation.identity(5), TransposedLabeling())
+        assert result.arbitrary_choice_count == 0
+        assert result.chain_multiplicity == 1
+        assert result.end.is_reverse()
+
+    def test_random_tiebreak_labeling_removes_ties(self):
+        labeling = RandomTiebreakLabeling(MissRatioLabeling(), rng=0)
+        result = chain_find(Permutation.identity(5), labeling)
+        assert result.arbitrary_choice_count == 0
+        assert result.end.is_reverse()
+
+    def test_ties_grow_with_group_size(self):
+        ties = [count_tie_events(m)["arbitrary_choices"] for m in (3, 4, 5, 6)]
+        assert all(b >= a for a, b in zip(ties, ties[1:]))
+
+
+class TestFeasibilityRestrictedChains:
+    def test_total_order_blocks_all_moves(self):
+        dag = DependencyDAG.total_order(5)
+        result = chain_find(Permutation.identity(5), feasibility=feasibility_predicate(dag))
+        assert result.length == 0
+        assert result.stopped_reason == "no_feasible_cover"
+
+    def test_unconstrained_predicate_reaches_top(self):
+        dag = DependencyDAG.unconstrained(5)
+        result = chain_find(Permutation.identity(5), feasibility=feasibility_predicate(dag))
+        assert result.end.is_reverse()
+
+    def test_chain_stays_feasible(self, rng):
+        dag = DependencyDAG.random(6, 0.3, rng)
+        result = chain_find(Permutation.identity(6), feasibility=feasibility_predicate(dag))
+        for sigma in result.chain:
+            assert is_feasible(sigma, dag)
+
+    def test_block_constraints_allow_partial_progress(self):
+        dag = DependencyDAG.blocks([2, 2, 2])
+        result = chain_find(Permutation.identity(6), feasibility=feasibility_predicate(dag))
+        assert 0 < result.length < max_inversions(6)
+        assert result.stopped_reason == "no_feasible_cover"
+        assert is_feasible(result.end, dag)

@@ -1,0 +1,115 @@
+"""Unit tests for repro.core.covering_graph."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    Permutation,
+    build_covering_graph,
+    count_maximal_chains,
+    is_graded,
+    mahonian_row,
+    max_inversions,
+    random_saturated_chain,
+    rank_levels,
+    rank_sizes,
+    saturated_chains,
+)
+
+
+class TestGraphConstruction:
+    @pytest.mark.parametrize("m", [0, 1, 2, 3, 4, 5])
+    def test_node_count_is_factorial(self, m):
+        graph = build_covering_graph(m)
+        assert graph.number_of_nodes() == math.factorial(m)
+
+    def test_refuses_huge_groups(self):
+        with pytest.raises(ValueError):
+            build_covering_graph(10)
+
+    def test_is_graded(self):
+        assert is_graded(build_covering_graph(4))
+
+    def test_rank_sizes_are_mahonian(self):
+        for m in (3, 4, 5):
+            graph = build_covering_graph(m)
+            sizes = rank_sizes(graph)
+            assert [sizes[k] for k in sorted(sizes)] == list(mahonian_row(m))
+
+    def test_rank_levels_sorted_and_complete(self):
+        graph = build_covering_graph(4)
+        levels = rank_levels(graph)
+        assert sorted(levels) == list(range(max_inversions(4) + 1))
+        assert sum(len(v) for v in levels.values()) == 24
+
+    def test_edges_carry_position_labels(self):
+        graph = build_covering_graph(3)
+        for sigma, tau, data in graph.edges(data=True):
+            i, j = data["positions"]
+            assert sigma.swap_positions(i, j) == tau
+
+    def test_edges_without_labels(self):
+        graph = build_covering_graph(3, include_transposition_labels=False)
+        for _, _, data in graph.edges(data=True):
+            assert "positions" not in data
+
+    def test_unique_source_and_sink(self):
+        graph = build_covering_graph(4)
+        sources = [n for n in graph if graph.in_degree(n) == 0]
+        sinks = [n for n in graph if graph.out_degree(n) == 0]
+        assert sources == [Permutation.identity(4)]
+        assert sinks == [Permutation.reverse(4)]
+
+
+class TestChains:
+    def test_saturated_chain_enumeration_s3(self):
+        graph = build_covering_graph(3)
+        chains = list(saturated_chains(graph, Permutation.identity(3), Permutation.reverse(3)))
+        # S_3: the number of maximal chains in Bruhat order is 4? verify via DP below
+        assert len(chains) == count_maximal_chains(graph, Permutation.identity(3), Permutation.reverse(3))
+        for chain in chains:
+            assert chain[0].is_identity() and chain[-1].is_reverse()
+            assert len(chain) == max_inversions(3) + 1
+
+    def test_chain_limit(self):
+        graph = build_covering_graph(4)
+        limited = list(
+            saturated_chains(graph, Permutation.identity(4), Permutation.reverse(4), limit=5)
+        )
+        assert len(limited) == 5
+
+    def test_count_matches_enumeration_on_subinterval(self):
+        graph = build_covering_graph(4)
+        start = Permutation.identity(4)
+        end = Permutation([2, 1, 0, 3])
+        enumerated = len(list(saturated_chains(graph, start, end)))
+        assert enumerated == count_maximal_chains(graph, start, end)
+
+    def test_chain_functions_require_graph_nodes(self):
+        graph = build_covering_graph(3)
+        foreign = Permutation.identity(4)
+        with pytest.raises(KeyError):
+            list(saturated_chains(graph, foreign, Permutation.reverse(3)))
+        with pytest.raises(KeyError):
+            count_maximal_chains(graph, foreign, Permutation.reverse(3))
+
+    def test_random_saturated_chain(self, rng):
+        chain = random_saturated_chain(6, rng)
+        assert chain[0].is_identity()
+        assert chain[-1].is_reverse()
+        assert len(chain) == max_inversions(6) + 1
+        for a, b in zip(chain, chain[1:]):
+            assert b.inversions() == a.inversions() + 1
+
+    def test_random_chain_custom_start(self, rng):
+        start = Permutation([1, 0, 2, 3, 4])
+        chain = random_saturated_chain(5, rng, start=start)
+        assert chain[0] == start
+        assert len(chain) == max_inversions(5) - 1 + 1
+
+    def test_random_chain_start_size_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            random_saturated_chain(5, rng, start=Permutation.identity(4))

@@ -1,0 +1,178 @@
+"""Unit tests for repro.core.feasibility."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    DependencyDAG,
+    Permutation,
+    best_feasible_extension,
+    count_linear_extensions,
+    feasibility_predicate,
+    greedy_feasible_extension,
+    is_feasible,
+    max_inversions,
+    random_linear_extension,
+)
+
+
+class TestDependencyDAG:
+    def test_unconstrained(self):
+        dag = DependencyDAG.unconstrained(5)
+        assert dag.size == 5
+        assert dag.edges == frozenset()
+
+    def test_total_order(self):
+        dag = DependencyDAG.total_order(4)
+        assert len(dag.edges) == 3
+        assert count_linear_extensions(dag) == 1
+
+    def test_blocks(self):
+        dag = DependencyDAG.blocks([2, 3])
+        assert dag.size == 5
+        assert (0, 1) in dag.edges and (2, 3) in dag.edges and (3, 4) in dag.edges
+        assert (1, 2) not in dag.edges
+
+    def test_layered(self):
+        dag = DependencyDAG.layered([2, 2])
+        assert dag.size == 4
+        assert {(0, 2), (0, 3), (1, 2), (1, 3)} == set(dag.edges)
+        assert count_linear_extensions(dag) == 4
+
+    def test_random_respects_program_order(self, rng):
+        dag = DependencyDAG.random(8, 0.5, rng)
+        assert all(u < v for u, v in dag.edges)
+        assert is_feasible(Permutation.identity(8), dag)
+
+    def test_random_probability_extremes(self, rng):
+        assert DependencyDAG.random(6, 0.0, rng).edges == frozenset()
+        full = DependencyDAG.random(6, 1.0, rng)
+        assert len(full.edges) == 15
+
+    def test_random_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            DependencyDAG.random(4, 1.5, rng)
+
+    def test_rejects_cycles(self):
+        with pytest.raises(ValueError):
+            DependencyDAG(3, [(0, 1), (1, 2), (2, 0)])
+
+    def test_rejects_self_edges_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            DependencyDAG(3, [(1, 1)])
+        with pytest.raises(ValueError):
+            DependencyDAG(3, [(0, 5)])
+
+    def test_predecessors_successors(self):
+        dag = DependencyDAG(4, [(0, 2), (1, 2), (2, 3)])
+        assert dag.predecessors()[2] == {0, 1}
+        assert dag.successors()[2] == {3}
+        assert dag.predecessor_masks()[2] == 0b11
+
+    def test_to_networkx(self):
+        graph = DependencyDAG(3, [(0, 1)]).to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.has_edge(0, 1)
+
+    def test_equality_and_hash(self):
+        a = DependencyDAG(3, [(0, 1)])
+        b = DependencyDAG(3, [(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestFeasibility:
+    def test_identity_always_feasible_for_forward_dags(self, rng):
+        for _ in range(5):
+            dag = DependencyDAG.random(7, 0.4, rng)
+            assert is_feasible(Permutation.identity(7), dag)
+
+    def test_total_order_only_identity(self):
+        dag = DependencyDAG.total_order(4)
+        assert is_feasible(Permutation.identity(4), dag)
+        assert not is_feasible(Permutation.reverse(4), dag)
+        assert not is_feasible(Permutation([0, 2, 1, 3]), dag)
+
+    def test_unconstrained_everything_feasible(self, s4):
+        dag = DependencyDAG.unconstrained(4)
+        assert all(is_feasible(sigma, dag) for sigma in s4)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            is_feasible(Permutation.identity(3), DependencyDAG.unconstrained(4))
+
+    def test_predicate_factory(self):
+        dag = DependencyDAG.total_order(3)
+        predicate = feasibility_predicate(dag)
+        assert predicate(Permutation.identity(3))
+        assert not predicate(Permutation.reverse(3))
+
+    def test_feasible_count_definition(self, s4):
+        dag = DependencyDAG(4, [(0, 1), (2, 3)])
+        brute = sum(1 for sigma in s4 if is_feasible(sigma, dag))
+        assert brute == count_linear_extensions(dag)
+
+
+class TestOptimisation:
+    def test_unconstrained_optimum_is_sawtooth(self):
+        dag = DependencyDAG.unconstrained(6)
+        sigma, ell = best_feasible_extension(dag)
+        assert sigma.is_reverse()
+        assert ell == max_inversions(6)
+        assert greedy_feasible_extension(dag).is_reverse()
+
+    def test_total_order_optimum_is_identity(self):
+        dag = DependencyDAG.total_order(6)
+        sigma, ell = best_feasible_extension(dag)
+        assert sigma.is_identity()
+        assert ell == 0
+
+    def test_exact_matches_brute_force(self, rng, s4):
+        for _ in range(10):
+            dag = DependencyDAG.random(4, 0.4, rng)
+            best_brute = max(
+                (sigma.inversions() for sigma in s4 if is_feasible(sigma, dag)), default=0
+            )
+            sigma, ell = best_feasible_extension(dag)
+            assert ell == best_brute
+            assert is_feasible(sigma, dag)
+            assert sigma.inversions() == ell
+
+    def test_greedy_feasible_and_bounded_by_exact(self, rng):
+        for _ in range(10):
+            dag = DependencyDAG.random(10, 0.3, rng)
+            greedy = greedy_feasible_extension(dag)
+            assert is_feasible(greedy, dag)
+            _, exact = best_feasible_extension(dag)
+            assert greedy.inversions() <= exact
+
+    def test_exact_size_limit(self):
+        with pytest.raises(ValueError):
+            best_feasible_extension(DependencyDAG.unconstrained(30))
+        with pytest.raises(ValueError):
+            count_linear_extensions(DependencyDAG.unconstrained(30))
+
+    def test_empty_dag(self):
+        sigma, ell = best_feasible_extension(DependencyDAG.unconstrained(0))
+        assert sigma.size == 0 and ell == 0
+        assert count_linear_extensions(DependencyDAG.unconstrained(0)) == 1
+
+    def test_count_unconstrained_is_factorial(self):
+        assert count_linear_extensions(DependencyDAG.unconstrained(5)) == math.factorial(5)
+
+    def test_blocks_optimum_keeps_blocks_in_order(self):
+        dag = DependencyDAG.blocks([3, 3])
+        sigma, ell = best_feasible_extension(dag)
+        assert is_feasible(sigma, dag)
+        # best order interleaves/reverses blocks but keeps internal order;
+        # its inversion count is exactly block_a * block_b = 9
+        assert ell == 9
+
+    def test_random_linear_extension_feasible(self, rng):
+        dag = DependencyDAG.random(12, 0.3, rng)
+        for _ in range(5):
+            sigma = random_linear_extension(dag, rng)
+            assert is_feasible(sigma, dag)

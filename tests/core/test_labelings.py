@@ -1,0 +1,142 @@
+"""Unit tests for repro.core.labelings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CompositeLabeling,
+    MissRatioLabeling,
+    Permutation,
+    RandomTiebreakLabeling,
+    RankedMissRatioLabeling,
+    TransposedLabeling,
+    all_permutations,
+    cache_hit_vector,
+    chain_labels_nondecreasing,
+    count_nondecreasing_chains,
+    covers,
+    is_el_labeling,
+    is_good_labeling,
+)
+
+
+class TestMissRatioLabeling:
+    def test_label_is_hit_vector(self):
+        labeling = MissRatioLabeling()
+        sigma = Permutation.identity(4)
+        tau = covers(sigma)[0]
+        assert labeling.label(sigma, tau) == tuple(int(x) for x in cache_hit_vector(tau))
+
+    def test_ties_at_identity_counterexample(self):
+        # Section V-B.1: every cover of the identity has the same hit vector,
+        # so lambda_e cannot distinguish them.
+        labeling = MissRatioLabeling()
+        e = Permutation.identity(5)
+        best, _ = labeling.best_covers(e, covers(e))
+        assert len(best) == len(covers(e))
+
+    def test_not_a_good_labeling(self, s4):
+        assert not is_good_labeling(MissRatioLabeling(), s4)
+
+    def test_best_covers_empty(self):
+        best, label = MissRatioLabeling().best_covers(Permutation.identity(3), [])
+        assert best == [] and label is None
+
+
+class TestRankedLabeling:
+    def test_identity_psi_equals_lambda_e(self, s4):
+        ranked = RankedMissRatioLabeling(Permutation.identity(4))
+        plain = MissRatioLabeling()
+        for sigma in s4:
+            for tau in covers(sigma):
+                assert ranked.label(sigma, tau) == plain.label(sigma, tau)
+
+    def test_psi_reorders_comparison(self):
+        # prefer cache size m-1 first: the identity counterexample disappears
+        m = 5
+        psi = Permutation([m - 2] + list(range(m - 2)) + [m - 1])
+        ranked = RankedMissRatioLabeling(psi)
+        e = Permutation.identity(m)
+        tau = covers(e)[0]
+        label = ranked.label(e, tau)
+        assert label[0] == int(cache_hit_vector(tau)[m - 2])
+
+    def test_size_mismatch(self):
+        ranked = RankedMissRatioLabeling(Permutation.identity(3))
+        with pytest.raises(ValueError):
+            ranked.label(Permutation.identity(4), covers(Permutation.identity(4))[0])
+
+
+class TestTransposedLabeling:
+    def test_is_good_labeling(self, s4):
+        assert is_good_labeling(TransposedLabeling(), s4)
+
+    def test_distinct_labels_out_of_identity(self):
+        labeling = TransposedLabeling()
+        e = Permutation.identity(5)
+        labels = {labeling.label(e, tau) for tau in covers(e)}
+        assert len(labels) == len(covers(e))
+
+    def test_rejects_non_cover_edge(self):
+        labeling = TransposedLabeling()
+        with pytest.raises(ValueError):
+            labeling.label(Permutation.identity(4), Permutation([1, 2, 0, 3]))
+
+
+class TestCompositeAndRandom:
+    def test_composite_breaks_ties(self, s4):
+        composite = CompositeLabeling(MissRatioLabeling(), TransposedLabeling())
+        assert is_good_labeling(composite, s4)
+
+    def test_composite_primary_dominates(self):
+        composite = CompositeLabeling(MissRatioLabeling(), TransposedLabeling())
+        sigma = Permutation([1, 0, 2, 3])
+        taus = covers(sigma)
+        labels = [composite.label(sigma, t) for t in taus]
+        primary = [MissRatioLabeling().label(sigma, t) for t in taus]
+        best_primary = max(primary)
+        best_composite = max(labels)
+        assert best_composite[0] == tuple(best_primary)
+
+    def test_random_tiebreak_preserves_base_ordering(self):
+        base = MissRatioLabeling()
+        wrapped = RandomTiebreakLabeling(base, rng=0)
+        sigma = Permutation.identity(4)
+        taus = covers(sigma)
+        # base labels compare first; random component only matters on ties
+        labels = [wrapped.label(sigma, t) for t in taus]
+        assert all(len(lbl) == 5 for lbl in labels)
+        assert len(set(labels)) == len(labels)
+
+
+class TestELDiagnostics:
+    def test_chain_labels_nondecreasing(self):
+        labeling = TransposedLabeling()
+        chain = [Permutation.identity(3), Permutation([1, 0, 2]), Permutation([1, 2, 0])]
+        assert isinstance(chain_labels_nondecreasing(labeling, chain), bool)
+
+    def test_count_nondecreasing_chains_trivial_cases(self):
+        labeling = TransposedLabeling()
+        e = Permutation.identity(3)
+        assert count_nondecreasing_chains(labeling, e, e) == 1
+        w0 = Permutation.reverse(3)
+        assert count_nondecreasing_chains(labeling, w0, e) == 0
+
+    def test_count_nondecreasing_chains_cover(self):
+        labeling = MissRatioLabeling()
+        e = Permutation.identity(3)
+        tau = covers(e)[0]
+        assert count_nondecreasing_chains(labeling, e, tau) == 1
+
+    def test_miss_ratio_labeling_is_not_el(self):
+        nodes = list(all_permutations(3))
+        assert not is_el_labeling(MissRatioLabeling(), nodes, max_interval_length=3)
+
+    def test_transposed_labeling_el_on_short_intervals_s3(self):
+        # The reflection-based labeling restricted to S_3 behaves as an
+        # EL-labeling on intervals of length <= 2 (a sanity check of the
+        # diagnostic machinery, not a general theorem).
+        nodes = list(all_permutations(3))
+        result = is_el_labeling(TransposedLabeling(), nodes, max_interval_length=1)
+        assert result is True

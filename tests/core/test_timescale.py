@@ -1,0 +1,132 @@
+"""Unit tests for the timescale / data-movement labelings and labeling comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DataMovementLabeling,
+    MissRatioLabeling,
+    Permutation,
+    TimescaleLabeling,
+    TotalReuseLabeling,
+    chain_find,
+    compare_labelings,
+    covers,
+    max_inversions,
+)
+
+
+class TestTimescaleLabeling:
+    def test_prefers_better_locality_destination(self):
+        labeling = TimescaleLabeling()
+        sigma = Permutation.identity(4)
+        labels = {tau: labeling.label(sigma, tau) for tau in covers(sigma)}
+        # labels are comparable tuples of negated footprints
+        assert all(isinstance(lbl, tuple) for lbl in labels.values())
+
+    def test_chainfind_reaches_top(self):
+        result = chain_find(Permutation.identity(5), TimescaleLabeling())
+        assert result.end.is_reverse()
+        assert result.length == max_inversions(5)
+
+    def test_num_windows_validation(self):
+        with pytest.raises(ValueError):
+            TimescaleLabeling(num_windows=0)
+
+    def test_sawtooth_labelled_higher_than_cyclic_like_cover(self):
+        # among the covers of a rank-1 permutation, the one leading towards the
+        # sawtooth should never be labelled *lower* than all others
+        labeling = TimescaleLabeling()
+        sigma = Permutation([1, 0, 2, 3])
+        best, _ = labeling.best_covers(sigma, covers(sigma))
+        assert best  # a maximal cover exists and is well defined
+
+
+class TestDataMovementLabeling:
+    def test_chainfind_reaches_top(self):
+        result = chain_find(Permutation.identity(5), DataMovementLabeling())
+        assert result.end.is_reverse()
+
+    def test_label_monotone_in_inversions(self):
+        labeling = DataMovementLabeling()
+        e = Permutation.identity(4)
+        saw = Permutation.reverse(4)
+        near_saw = Permutation([3, 2, 0, 1])
+        # higher locality => smaller data movement => larger (negated) label
+        assert labeling.label(e, saw) > labeling.label(e, near_saw)
+
+
+class TestTotalReuseLabeling:
+    def test_all_covers_tie(self):
+        labeling = TotalReuseLabeling()
+        e = Permutation.identity(5)
+        best, _ = labeling.best_covers(e, covers(e))
+        assert len(best) == len(covers(e))
+
+    def test_chainfind_still_terminates_at_top(self):
+        result = chain_find(Permutation.identity(5), TotalReuseLabeling())
+        assert result.end.is_reverse()
+        # the labeling distinguishes nothing: at every step the tie spans all
+        # available covers of the current permutation
+        for sigma, multiplicity in zip(result.chain, result.tie_multiplicities):
+            assert multiplicity == len(covers(sigma))
+
+
+class TestCompareLabelings:
+    def test_default_comparison_structure(self):
+        rows = compare_labelings(5)
+        names = {row["labeling"] for row in rows}
+        assert "miss_ratio (λ_e)" in names
+        assert "timescale (footprint)" in names
+        assert "total_reuse (control)" in names
+        for row in rows:
+            assert row["chain_length"] == max_inversions(5)
+            assert row["reaches_top"]
+
+    def test_control_has_most_ties(self):
+        rows = {row["labeling"]: row for row in compare_labelings(5)}
+        control = rows["total_reuse (control)"]
+        assert all(
+            control["arbitrary_choices"] >= row["arbitrary_choices"] for row in rows.values()
+        )
+
+    def test_custom_labelings_and_weak_moves(self):
+        rows = compare_labelings(
+            4,
+            {"mr": MissRatioLabeling(), "dm": DataMovementLabeling()},
+            moves="weak",
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["chain_length"] == max_inversions(4)
+            assert row["reaches_top"]
+
+    def test_no_labeling_removes_all_ties(self):
+        # the paper's Problem-3 conclusion: none of the attempted
+        # locality-derived labelings is a good labeling
+        rows = compare_labelings(6)
+        assert all(row["arbitrary_choices"] > 0 for row in rows)
+
+
+class TestWeakMovesChainFind:
+    def test_weak_moves_reach_top_with_adjacent_swaps_only(self):
+        result = chain_find(Permutation.identity(6), moves="weak")
+        assert result.end.is_reverse()
+        assert result.length == max_inversions(6)
+        for a, b in zip(result.chain, result.chain[1:]):
+            diff = [i for i in range(6) if a[i] != b[i]]
+            assert len(diff) == 2 and diff[1] == diff[0] + 1
+
+    def test_weak_moves_theorem3_dominance_along_chain(self):
+        from repro.core import theorem3_compare
+
+        result = chain_find(Permutation.identity(5), moves="weak")
+        for a, b in zip(result.chain, result.chain[1:]):
+            report = theorem3_compare(a, b)
+            assert report["dominates"]
+            assert len(report["improved_sizes"]) == 1
+
+    def test_invalid_moves_argument(self):
+        with pytest.raises(ValueError):
+            chain_find(Permutation.identity(4), moves="diagonal")

@@ -1,0 +1,129 @@
+"""Unit tests for the permutation-equivariance checks (Section VI-A1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Permutation, random_permutation
+from repro.ml import (
+    gelu,
+    hidden_unit_permutation_invariant,
+    is_permutation_equivariant,
+    layer_norm,
+    linear,
+    relu,
+    self_attention,
+    softmax,
+)
+
+
+class TestComponentFunctions:
+    def test_relu(self):
+        assert np.array_equal(relu(np.asarray([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_gelu_limits_and_positive_branch(self):
+        # GELU approaches 0 for very negative inputs, the identity for large
+        # positive inputs, and is increasing on the non-negative axis.
+        assert gelu(np.asarray([-10.0]))[0] == pytest.approx(0.0, abs=1e-6)
+        assert gelu(np.asarray([10.0]))[0] == pytest.approx(10.0, abs=1e-6)
+        x = np.linspace(0, 2, 21)
+        assert np.all(np.diff(gelu(x)) > 0)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.standard_normal((5, 7))
+        assert np.allclose(softmax(x).sum(axis=-1), 1.0)
+
+    def test_softmax_stability_large_values(self):
+        x = np.asarray([[1000.0, 1000.0]])
+        assert np.allclose(softmax(x), [[0.5, 0.5]])
+
+    def test_layer_norm_zero_mean_unit_var(self, rng):
+        x = rng.standard_normal((4, 16))
+        y = layer_norm(x)
+        assert np.allclose(y.mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(y.var(axis=-1), 1.0, atol=1e-3)
+
+    def test_linear_bias(self, rng):
+        x = rng.standard_normal((3, 4))
+        w = rng.standard_normal((4, 2))
+        b = rng.standard_normal(2)
+        assert np.allclose(linear(x, w, b), x @ w + b)
+
+
+class TestEquivariance:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            relu,
+            gelu,
+            layer_norm,
+            lambda x: softmax(x, axis=-1),
+        ],
+    )
+    def test_elementwise_and_rowwise_ops_equivariant(self, fn):
+        assert is_permutation_equivariant(fn, tokens=7, features=5, rng=0)
+
+    def test_linear_layer_equivariant(self, rng):
+        w = rng.standard_normal((5, 3))
+        assert is_permutation_equivariant(lambda x: linear(x, w), tokens=7, features=5, rng=0)
+
+    def test_self_attention_equivariant(self, rng):
+        d = 6
+        w_q, w_k, w_v = (rng.standard_normal((d, d)) for _ in range(3))
+        w_o = rng.standard_normal((d, d))
+        assert is_permutation_equivariant(
+            lambda x: self_attention(x, w_q, w_k, w_v, w_o), tokens=5, features=d, rng=1
+        )
+
+    def test_positional_function_is_not_equivariant(self):
+        # adding a position-dependent bias breaks equivariance, and the check
+        # must detect it
+        def positional(x):
+            return x + np.arange(x.shape[0])[:, None]
+
+        assert not is_permutation_equivariant(positional, tokens=6, features=3, rng=0)
+
+    def test_cumulative_function_is_not_equivariant(self):
+        assert not is_permutation_equivariant(
+            lambda x: np.cumsum(x, axis=0), tokens=6, features=3, rng=0
+        )
+
+
+class TestHiddenUnitInvariance:
+    def test_holds_for_consistent_permutation(self, rng):
+        w1 = rng.standard_normal((6, 9))
+        w2 = rng.standard_normal((9, 4))
+        sigma = random_permutation(9, rng)
+        assert hidden_unit_permutation_invariant(w1, w2, sigma, rng=0)
+
+    def test_holds_with_gelu(self, rng):
+        w1 = rng.standard_normal((4, 5))
+        w2 = rng.standard_normal((5, 2))
+        assert hidden_unit_permutation_invariant(
+            w1, w2, random_permutation(5, rng), activation=gelu, rng=0
+        )
+
+    def test_detects_inconsistent_permutation(self, rng):
+        # permuting only one side changes the function: emulate by wrapping a
+        # fake "activation" that permutes its input, breaking consistency.
+        w1 = rng.standard_normal((4, 6))
+        w2 = rng.standard_normal((6, 3))
+        sigma = Permutation([1, 0, 2, 3, 4, 5])
+        perm = np.asarray(Permutation([2, 3, 4, 5, 0, 1]).one_line)
+
+        def mangling_activation(h):
+            return np.maximum(h, 0.0)[:, perm]
+
+        assert not hidden_unit_permutation_invariant(
+            w1, w2, sigma, activation=mangling_activation, rng=0
+        )
+
+    def test_shape_validation(self, rng):
+        w1 = rng.standard_normal((4, 6))
+        w2 = rng.standard_normal((5, 3))
+        with pytest.raises(ValueError):
+            hidden_unit_permutation_invariant(w1, w2, Permutation.identity(6))
+        w2_ok = rng.standard_normal((6, 3))
+        with pytest.raises(ValueError):
+            hidden_unit_permutation_invariant(w1, w2_ok, Permutation.identity(4))

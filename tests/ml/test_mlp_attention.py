@@ -1,0 +1,155 @@
+"""Unit tests for the traced MLP and attention models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache
+from repro.core import Permutation, alternating_schedule, random_permutation
+from repro.ml import TracedAttention, TracedMLP
+
+
+class TestTracedMLP:
+    def test_construction_and_item_count(self):
+        mlp = TracedMLP([8, 16, 4], granularity=8, rng=0)
+        # blocks(8*16, 8) + blocks(16*4, 8) = 16 + 8
+        assert mlp.num_weight_items == 24
+
+    def test_requires_two_layers(self):
+        with pytest.raises(ValueError):
+            TracedMLP([4])
+
+    def test_forward_output_shape(self, rng):
+        mlp = TracedMLP([6, 10, 3], rng=0)
+        record = mlp.forward(rng.standard_normal((5, 6)))
+        assert record.kind == "forward"
+        assert record.output.shape == (5, 3)
+        assert record.items.tolist() == list(range(mlp.num_weight_items))
+
+    def test_forward_with_block_order(self, rng):
+        mlp = TracedMLP([6, 10, 3], granularity=4, rng=0)
+        order = Permutation.reverse(mlp.num_weight_items)
+        record = mlp.forward(rng.standard_normal((2, 6)), block_order=order)
+        assert record.items.tolist() == list(range(mlp.num_weight_items))[::-1]
+
+    def test_block_order_size_mismatch(self, rng):
+        mlp = TracedMLP([6, 10, 3], rng=0)
+        with pytest.raises(ValueError):
+            mlp.forward(rng.standard_normal((2, 6)), block_order=Permutation.identity(3))
+
+    def test_block_order_does_not_change_output(self, rng):
+        mlp = TracedMLP([6, 10, 3], rng=0)
+        x = rng.standard_normal((4, 6))
+        out_a = mlp.forward(x).output
+        out_b = mlp.forward(x, block_order=Permutation.reverse(mlp.num_weight_items)).output
+        assert np.allclose(out_a, out_b)
+
+    def test_backward_loss_decreases_with_training(self, rng):
+        mlp = TracedMLP([5, 12, 2], rng=0)
+        x = rng.standard_normal((20, 5))
+        target = rng.standard_normal((20, 2))
+        first = mlp.backward(x, target, learning_rate=0.05).loss
+        for _ in range(30):
+            last = mlp.backward(x, target, learning_rate=0.05).loss
+        assert last < first
+
+    def test_backward_target_shape_validation(self, rng):
+        mlp = TracedMLP([5, 6, 2], rng=0)
+        with pytest.raises(ValueError):
+            mlp.backward(rng.standard_normal((4, 5)), rng.standard_normal((4, 3)))
+
+    def test_permute_hidden_units_preserves_function(self, rng):
+        mlp = TracedMLP([7, 11, 3], rng=0)
+        x = rng.standard_normal((6, 7))
+        before = mlp.forward(x).output.copy()
+        mlp.permute_hidden_units(0, random_permutation(11, rng))
+        after = mlp.forward(x).output
+        assert np.allclose(before, after)
+
+    def test_permute_hidden_units_validation(self):
+        mlp = TracedMLP([4, 6, 2], rng=0)
+        with pytest.raises(ValueError):
+            mlp.permute_hidden_units(1, Permutation.identity(2))  # output layer
+        with pytest.raises(ValueError):
+            mlp.permute_hidden_units(0, Permutation.identity(5))  # wrong size
+
+    def test_training_trace_lengths(self, rng):
+        mlp = TracedMLP([4, 8, 2], granularity=4, rng=0)
+        x = rng.standard_normal((3, 4))
+        y = rng.standard_normal((3, 2))
+        trace = mlp.training_trace(x, y, steps=3)
+        assert len(trace) == 6 * mlp.num_weight_items
+
+    def test_training_trace_schedule_validation(self, rng):
+        mlp = TracedMLP([4, 8, 2], rng=0)
+        x = rng.standard_normal((3, 4))
+        y = rng.standard_normal((3, 2))
+        with pytest.raises(ValueError):
+            mlp.training_trace(x, y, steps=2, schedule=[Permutation.identity(mlp.num_weight_items)])
+
+    def test_theorem4_schedule_improves_mlp_miss_ratio(self, rng):
+        mlp = TracedMLP([16, 32, 8], granularity=4, rng=0)
+        x = rng.standard_normal((4, 16))
+        y = rng.standard_normal((4, 8))
+        m = mlp.num_weight_items
+        steps = 3
+        naive = mlp.training_trace(x, y, steps=steps)
+        schedule = alternating_schedule(Permutation.reverse(m), 2 * steps)
+        optimised = mlp.training_trace(x, y, steps=steps, schedule=schedule)
+        cache = LRUCache(m // 2)
+        naive_mr = cache.run(naive).miss_ratio
+        cache = LRUCache(m // 2)
+        optimised_mr = cache.run(optimised).miss_ratio
+        assert optimised_mr < naive_mr
+
+
+class TestTracedAttention:
+    def test_item_counts(self):
+        attention = TracedAttention(64, 8, granularity=64, rng=0)
+        assert attention.num_weight_items == 8 * 4 * (64 * 8 // 64)
+        assert attention.head_items(0).size == attention.num_weight_items // 8
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            TracedAttention(30, 4)
+
+    def test_forward_shape_and_head_order_invariance(self, rng):
+        attention = TracedAttention(32, 4, rng=0)
+        x = rng.standard_normal((10, 32))
+        out_default = attention.forward(x)
+        out_permuted = attention.forward(x, head_order=Permutation.reverse(4))
+        out_listed = attention.forward(x, head_order=[2, 0, 3, 1])
+        assert out_default.shape == (10, 32)
+        assert np.allclose(out_default, out_permuted)
+        assert np.allclose(out_default, out_listed)
+
+    def test_forward_input_validation(self, rng):
+        attention = TracedAttention(16, 2, rng=0)
+        with pytest.raises(ValueError):
+            attention.forward(rng.standard_normal((5, 8)))
+        with pytest.raises(ValueError):
+            attention.forward(rng.standard_normal((5, 16)), head_order=[0, 0])
+        with pytest.raises(ValueError):
+            attention.forward(rng.standard_normal((5, 16)), head_order=Permutation.identity(3))
+
+    def test_access_trace_lengths_and_schedule(self):
+        attention = TracedAttention(32, 4, granularity=32, rng=0)
+        trace = attention.access_trace(3)
+        assert len(trace) == 3 * attention.num_weight_items
+        schedule = [None, Permutation.reverse(4), None]
+        alternating = attention.access_trace(3, head_schedule=schedule)
+        assert len(alternating) == len(trace)
+        with pytest.raises(ValueError):
+            attention.access_trace(2, head_schedule=[None])
+
+    def test_head_alternation_improves_locality(self):
+        attention = TracedAttention(64, 8, granularity=16, rng=0)
+        passes = 4
+        naive = attention.access_trace(passes)
+        schedule = [None if p % 2 == 0 else Permutation.reverse(8) for p in range(passes)]
+        optimised = attention.access_trace(passes, head_schedule=schedule)
+        capacity = attention.num_weight_items // 2
+        naive_mr = LRUCache(capacity).run(naive).miss_ratio
+        optimised_mr = LRUCache(capacity).run(optimised).miss_ratio
+        assert optimised_mr < naive_mr

@@ -1,0 +1,137 @@
+"""Unit tests for traversal scheduling and graph reordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Permutation
+from repro.ml import (
+    RandomGraph,
+    ScheduleEvaluation,
+    bfs_order,
+    build_schedule,
+    compare_schedules,
+    degree_order,
+    evaluate_schedule,
+    message_passing_trace,
+    reverse_cuthill_mckee_order,
+)
+
+
+class TestBuildSchedule:
+    def test_cyclic(self):
+        schedule = build_schedule("cyclic", 8, 3)
+        assert len(schedule) == 3
+        assert all(p.is_identity() for p in schedule)
+
+    def test_sawtooth_alternation(self):
+        schedule = build_schedule("sawtooth", 8, 4)
+        assert [p.is_identity() for p in schedule] == [True, False, True, False]
+        assert schedule[1].is_reverse()
+
+    def test_reverse_every_pass(self):
+        schedule = build_schedule("reverse-every-pass", 8, 3)
+        assert schedule[0].is_identity()
+        assert schedule[1].is_reverse() and schedule[2].is_reverse()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_schedule("zigzag", 8, 3)
+
+
+class TestEvaluateSchedule:
+    def test_metrics_present(self):
+        evaluation = evaluate_schedule(build_schedule("sawtooth", 16, 4), hierarchy_levels=[4, 8])
+        assert isinstance(evaluation, ScheduleEvaluation)
+        assert evaluation.passes == 4
+        assert evaluation.items == 16
+        assert evaluation.total_reuse > 0
+        assert evaluation.amat is not None
+        assert 0.0 <= evaluation.miss_ratio(8) <= 1.0
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_schedule([])
+
+    def test_total_reuse_matches_theorem4_formula(self):
+        m, passes = 32, 5
+        sawtooth_eval = evaluate_schedule(build_schedule("sawtooth", m, passes))
+        cyclic_eval = evaluate_schedule(build_schedule("cyclic", m, passes))
+        assert cyclic_eval.total_reuse == (passes - 1) * m * m
+        assert sawtooth_eval.total_reuse == (passes - 1) * m * (m + 1) // 2
+
+    def test_compare_schedules_ordering(self):
+        results = compare_schedules(64, 6, max_cache_size=64)
+        assert results["sawtooth"].total_reuse < results["reverse-every-pass"].total_reuse
+        assert results["reverse-every-pass"].total_reuse < results["cyclic"].total_reuse
+        # at half the footprint the sawtooth alternation hits, cyclic does not
+        assert results["sawtooth"].miss_ratio(32) < results["cyclic"].miss_ratio(32)
+
+    def test_amat_follows_total_reuse(self):
+        results = compare_schedules(64, 4, hierarchy_levels=[8, 32])
+        assert results["sawtooth"].amat < results["cyclic"].amat
+
+
+class TestGraphReordering:
+    def test_random_graph_structure(self, rng):
+        graph = RandomGraph(40, 6, rng=rng)
+        assert graph.num_nodes == 40
+        degrees = [graph.degree(u) for u in range(40)]
+        assert 2 < np.mean(degrees) < 12
+        # adjacency is symmetric
+        for u in range(40):
+            for v in graph.neighbors[u]:
+                assert u in graph.neighbors[int(v)]
+
+    def test_graph_validation(self, rng):
+        with pytest.raises(ValueError):
+            RandomGraph(10, 0, rng=rng)
+
+    def test_orders_are_permutations(self, rng):
+        graph = RandomGraph(25, 4, rng=rng)
+        for order in (degree_order(graph), bfs_order(graph), reverse_cuthill_mckee_order(graph)):
+            assert sorted(order.one_line) == list(range(25))
+
+    def test_degree_order_descending(self, rng):
+        graph = RandomGraph(30, 5, rng=rng)
+        order = degree_order(graph)
+        degrees = [graph.degree(order(i)) for i in range(30)]
+        assert all(a >= b for a, b in zip(degrees, degrees[1:]))
+
+    def test_bfs_order_start_validation(self, rng):
+        graph = RandomGraph(10, 3, rng=rng)
+        with pytest.raises(ValueError):
+            bfs_order(graph, start=99)
+
+    def test_relabelled_graph_preserves_degrees(self, rng):
+        graph = RandomGraph(20, 4, rng=rng)
+        order = reverse_cuthill_mckee_order(graph)
+        relabelled = graph.relabelled(order)
+        original_degrees = sorted(graph.degree(u) for u in range(20))
+        new_degrees = sorted(relabelled.degree(u) for u in range(20))
+        assert original_degrees == new_degrees
+
+    def test_message_passing_trace_items(self, rng):
+        graph = RandomGraph(30, 4, rng=rng)
+        trace = message_passing_trace(graph, rounds=2)
+        assert trace.accesses.max() < 30
+        # every node's own feature is read each round
+        assert len(trace) >= 2 * 30
+
+    def test_message_passing_node_order_validation(self, rng):
+        graph = RandomGraph(10, 3, rng=rng)
+        with pytest.raises(ValueError):
+            message_passing_trace(graph, node_order=Permutation.identity(5))
+
+    def test_rcm_not_worse_than_label_order(self):
+        from repro.cache import LRUCache
+
+        graph = RandomGraph(80, 6, rng=3)
+        cache_size = 20
+        base = message_passing_trace(graph, rounds=2)
+        rcm_graph = graph.relabelled(reverse_cuthill_mckee_order(graph))
+        improved = message_passing_trace(rcm_graph, rounds=2)
+        base_mr = LRUCache(cache_size).run(base).miss_ratio
+        improved_mr = LRUCache(cache_size).run(improved).miss_ratio
+        assert improved_mr <= base_mr * 1.05

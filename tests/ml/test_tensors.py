@@ -1,0 +1,71 @@
+"""Unit tests for repro.ml.tensors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ml import TensorLayout, TensorSpec
+
+
+class TestTensorSpec:
+    def test_elements_and_blocks(self):
+        spec = TensorSpec("w", (4, 8), granularity=16)
+        assert spec.elements == 32
+        assert spec.blocks == 2
+
+    def test_partial_block_rounds_up(self):
+        assert TensorSpec("w", (5, 5), granularity=16).blocks == 2
+
+    def test_default_granularity(self):
+        assert TensorSpec("w", (3, 3)).blocks == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TensorSpec("w", ())
+        with pytest.raises(ValueError):
+            TensorSpec("w", (0, 3))
+        with pytest.raises(ValueError):
+            TensorSpec("w", (2, 2), granularity=0)
+
+
+class TestTensorLayout:
+    def test_offsets_and_total(self):
+        layout = TensorLayout([TensorSpec("a", (4, 8)), TensorSpec("b", (8, 2))])
+        assert layout.total_items == 48
+        assert layout.offset("a") == 0
+        assert layout.offset("b") == 32
+        assert layout.item("b", 0) == 32
+        assert layout.item("a", 31) == 31
+
+    def test_items_of(self):
+        layout = TensorLayout([TensorSpec("a", (2, 2)), TensorSpec("b", (2, 3))])
+        assert layout.items_of("b").tolist() == [4, 5, 6, 7, 8, 9]
+
+    def test_owner(self):
+        layout = TensorLayout([TensorSpec("a", (2, 2)), TensorSpec("b", (3,))])
+        assert layout.owner(0) == ("a", 0)
+        assert layout.owner(5) == ("b", 1)
+        with pytest.raises(IndexError):
+            layout.owner(7)
+
+    def test_canonical_order(self):
+        layout = TensorLayout([TensorSpec("a", (3,))])
+        assert layout.canonical_order().tolist() == [0, 1, 2]
+
+    def test_from_shapes(self):
+        layout = TensorLayout.from_shapes({"x": (2, 4), "y": (4,)}, granularity=2)
+        assert layout.total_items == 4 + 2
+        assert layout.spec("y").granularity == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TensorLayout([])
+        with pytest.raises(ValueError):
+            TensorLayout([TensorSpec("a", (2,)), TensorSpec("a", (3,))])
+        layout = TensorLayout([TensorSpec("a", (2,))])
+        with pytest.raises(KeyError):
+            layout.offset("missing")
+        with pytest.raises(KeyError):
+            layout.spec("missing")
+        with pytest.raises(IndexError):
+            layout.item("a", 5)

@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    """A small sawtooth trace file generated through the CLI itself."""
+    path = tmp_path / "saw.trace"
+    assert main(["generate", "sawtooth", "--items", "16", "-o", str(path)]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "does-not-exist"])
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "cyclic"])
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["cyclic", "sawtooth", "random-retraversal", "zipf", "stream"])
+    def test_generate_all_kinds(self, tmp_path, kind, capsys):
+        path = tmp_path / f"{kind}.trace"
+        code = main(["generate", kind, "--items", "8", "--length", "64", "-o", str(path)])
+        assert code == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+
+class TestAnalyzeAndMrc:
+    def test_analyze_prints_statistics(self, trace_file, capsys):
+        assert main(["analyze", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace statistics" in out
+        assert "locality score" in out
+        assert "1.0000" in out  # sawtooth has perfect locality score
+
+    def test_mrc_prints_curve(self, trace_file, capsys):
+        assert main(["mrc", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Miss-ratio curve" in out
+        assert "cache_size" in out
+
+    def test_mrc_writes_csv(self, trace_file, tmp_path, capsys):
+        csv_path = tmp_path / "curve.csv"
+        assert main(["mrc", str(trace_file), "--csv", str(csv_path), "--max-size", "8"]) == 0
+        content = csv_path.read_text().splitlines()
+        assert content[0] == "cache_size,miss_ratio"
+        assert len(content) == 9
+
+
+class TestChain:
+    def test_chain_default_labeling(self, capsys):
+        assert main(["chain", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "ChainFind result" in out
+        assert "True" in out  # reaches the sawtooth
+
+    def test_chain_show_chain_weak_moves(self, capsys):
+        assert main(["chain", "4", "--moves", "weak", "--show-chain", "--labeling", "transposition"]) == 0
+        out = capsys.readouterr().out
+        assert "Chain" in out
+        assert "(4, 3, 2, 1)" in out  # the sawtooth in 1-indexed notation
+
+    @pytest.mark.parametrize("labeling", ["miss-ratio", "ranked", "timescale", "data-movement"])
+    def test_chain_all_labelings(self, labeling, capsys):
+        assert main(["chain", "5", "--labeling", labeling]) == 0
+        assert "chain_length" in capsys.readouterr().out
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("name", ["fig2", "sawtooth-cyclic", "matrix-reuse", "miss-integral"])
+    def test_experiment_subcommands_run(self, name, capsys):
+        assert main(["experiment", name]) == 0
+        out = capsys.readouterr().out
+        assert f"experiment: {name}" in out
+
+    def test_experiment_fig1_prints_curve_table(self, capsys):
+        assert main(["experiment", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "ell=0" in out and "ell=10" in out

@@ -1,0 +1,176 @@
+"""Integration tests spanning several subsystems.
+
+Each test exercises a realistic end-to-end path a user of the library would
+take: from a workload or model, through the permutation theory, to cache
+measurements — asserting that the independently implemented layers agree with
+each other and with the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_fig1_mrc_by_inversion, fig1_monotone_violations
+from repro.cache import (
+    CacheHierarchy,
+    LRUCache,
+    MissRatioCurve,
+    mrc_from_trace,
+    simulate_opt,
+)
+from repro.core import (
+    DependencyDAG,
+    MissRatioLabeling,
+    Permutation,
+    TransposedLabeling,
+    alternating_schedule,
+    best_feasible_extension,
+    cache_hit_vector,
+    chain_find,
+    feasibility_predicate,
+    is_feasible,
+    miss_ratio_curve,
+    random_permutation,
+)
+from repro.ml import TracedMLP, compare_schedules
+from repro.trace import (
+    PeriodicTrace,
+    fixed_inversion_retraversal,
+    mlp_parameter_trace,
+    read_npz,
+    read_text,
+    stream_copy,
+    write_npz,
+    write_text,
+)
+
+
+class TestTheoryVsSimulationEndToEnd:
+    def test_full_pipeline_closed_form_vs_trace_vs_cache(self, rng):
+        """Permutation → periodic trace → stack distances → LRU — all three agree."""
+        sigma = random_permutation(40, rng)
+        periodic = PeriodicTrace(sigma)
+        trace = periodic.to_trace()
+
+        closed_form = miss_ratio_curve(sigma, convention="full")
+        from_trace = mrc_from_trace(trace.accesses).as_array()
+        assert np.allclose(closed_form, from_trace)
+
+        for cache_size in (1, 10, 20, 40):
+            simulated = LRUCache(cache_size).run(trace).hits
+            assert simulated == int(cache_hit_vector(sigma)[cache_size - 1])
+
+    def test_chainfind_improves_measured_miss_ratio_monotonically(self):
+        """Every ChainFind step's permutation, measured via real LRU simulation,
+        never increases the total (summed) miss count."""
+        result = chain_find(Permutation.identity(6), MissRatioLabeling())
+        total_hits = []
+        for sigma in result.chain:
+            trace = PeriodicTrace(sigma).to_trace()
+            hits_sum = sum(LRUCache(c).run(trace).hits for c in range(1, 6))
+            total_hits.append(hits_sum)
+        assert all(b == a + 1 for a, b in zip(total_hits, total_hits[1:]))
+
+    def test_good_labeling_chain_reaches_sawtooth_and_improves_everywhere(self):
+        result = chain_find(Permutation.identity(5), TransposedLabeling())
+        assert result.end.is_reverse()
+        first = miss_ratio_curve(result.start)
+        last = miss_ratio_curve(result.end)
+        assert np.all(last <= first + 1e-12)
+        assert result.chain_multiplicity == 1
+
+
+class TestConstrainedOptimisationEndToEnd:
+    def test_feasible_chainfind_end_matches_exact_optimum_quality(self, rng):
+        """ChainFind restricted by a dependence DAG stays feasible; the exact DP
+        bound is an upper bound on what it reaches."""
+        dag = DependencyDAG.random(8, 0.25, rng)
+        predicate = feasibility_predicate(dag)
+        result = chain_find(Permutation.identity(8), feasibility=predicate)
+        assert all(is_feasible(sigma, dag) for sigma in result.chain)
+        _, exact = best_feasible_extension(dag)
+        assert result.end.inversions() <= exact
+
+    def test_constrained_schedule_improves_real_cache_behaviour(self, rng):
+        """Using the best feasible re-ordering in a Theorem-4 alternation
+        improves the measured miss ratio of a repeated traversal."""
+        m = 16
+        dag = DependencyDAG.blocks([4, 4, 4, 4])
+        best, _ = best_feasible_extension(dag)
+        passes = 4
+        naive = np.concatenate([np.arange(m)] * passes)
+        schedule = alternating_schedule(best, passes)
+        optimised = np.concatenate([np.asarray(p.apply(np.arange(m))) for p in schedule])
+        cache = m // 2
+        naive_mr = LRUCache(cache).run(naive.tolist()).miss_ratio
+        optimised_mr = LRUCache(cache).run(optimised.tolist()).miss_ratio
+        assert optimised_mr <= naive_mr
+
+
+class TestWorkloadsEndToEnd:
+    def test_stream_has_worst_locality_and_opt_cannot_fix_cold_misses(self):
+        trace = stream_copy(128, repetitions=2)
+        lru = LRUCache(64).run(trace)
+        opt = simulate_opt(trace.accesses, 64)
+        assert lru.hit_ratio == 0.0
+        assert opt.misses >= trace.footprint  # cold misses are unavoidable
+
+    def test_mlp_workload_profits_from_sawtooth_weight_order(self):
+        layers = [32, 64, 16]
+        weights = 32 * 64 + 64 * 16
+        cyclic = mlp_parameter_trace(layers, passes=4, granularity=16)
+        sawtooth = mlp_parameter_trace(
+            layers, passes=4, granularity=16, weight_order=Permutation.reverse(cyclic.footprint)
+        )
+        assert cyclic.footprint == sawtooth.footprint
+        hierarchy_a = CacheHierarchy([cyclic.footprint // 8, cyclic.footprint // 2])
+        hierarchy_a.run(cyclic)
+        hierarchy_b = CacheHierarchy([cyclic.footprint // 8, cyclic.footprint // 2])
+        hierarchy_b.run(sawtooth)
+        assert hierarchy_b.amat() < hierarchy_a.amat()
+
+    def test_traced_mlp_training_with_schedule_keeps_numerics_identical(self, rng):
+        """The Theorem-4 traversal schedule changes only the access order,
+        never the computed losses."""
+        x = rng.standard_normal((8, 12))
+        y = rng.standard_normal((8, 4))
+        mlp_a = TracedMLP([12, 24, 4], granularity=8, rng=3)
+        mlp_b = TracedMLP([12, 24, 4], granularity=8, rng=3)
+        m = mlp_a.num_weight_items
+        schedule = alternating_schedule(Permutation.reverse(m), 4)
+        loss_a = mlp_a.backward(x, y).loss
+        mlp_b.training_trace(x, y, steps=2, schedule=schedule)
+        loss_b = mlp_b.backward(x, y).loss
+        assert loss_a == pytest.approx(loss_b)
+
+    def test_schedule_comparison_matches_paper_factor_of_two(self):
+        results = compare_schedules(512, 8, max_cache_size=512)
+        ratio = results["cyclic"].total_reuse / results["sawtooth"].total_reuse
+        assert 1.9 < ratio < 2.01
+
+
+class TestFigureOneAggregate:
+    def test_average_curves_separate_cleanly_for_s5_and_s6(self):
+        for m in (5, 6):
+            result = run_fig1_mrc_by_inversion(m)
+            assert fig1_monotone_violations(result) == 0
+
+
+class TestTraceFilesEndToEnd:
+    def test_analysis_of_a_trace_file_round_trip(self, tmp_path, rng):
+        """Write a re-traversal trace to disk, read it back, and recover the
+        permutation-level locality statistics from the raw file."""
+        sigma = fixed_inversion_retraversal(24, 100, rng).sigma
+        original = PeriodicTrace(sigma).to_trace()
+        write_text(original, tmp_path / "trace.txt")
+        write_npz(original, tmp_path / "trace.npz")
+
+        loaded_text = read_text(tmp_path / "trace.txt")
+        loaded_npz, _meta = read_npz(tmp_path / "trace.npz")
+        assert loaded_text == original
+        assert loaded_npz == original
+
+        curve_from_file = mrc_from_trace(loaded_text.accesses)
+        assert isinstance(curve_from_file, MissRatioCurve)
+        assert np.allclose(curve_from_file.as_array(), miss_ratio_curve(sigma, convention="full"))

@@ -1,0 +1,116 @@
+"""Unit tests for phase decomposition of general traces (Section VI-D bridge)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache import LRUCache
+from repro.core import Permutation, random_permutation
+from repro.trace import (
+    PeriodicTrace,
+    Trace,
+    phase_decomposition,
+    predicted_hits,
+    prediction_error,
+    repeated_traversals,
+    retraversal_permutations,
+    zipfian_trace,
+)
+
+
+class TestPhaseDecomposition:
+    def test_periodic_trace_gives_two_phases(self):
+        sigma = Permutation([2, 0, 3, 1])
+        decomposition = phase_decomposition(PeriodicTrace(sigma).to_trace())
+        assert decomposition.decomposable
+        assert decomposition.num_phases == 2
+        assert decomposition.footprint == 4
+        assert decomposition.phases[0].tolist() == [0, 1, 2, 3]
+        assert decomposition.phases[1].tolist() == [2, 0, 3, 1]
+
+    def test_multi_pass_schedule(self):
+        schedule = [Permutation.identity(5), Permutation.reverse(5), Permutation.identity(5)]
+        decomposition = phase_decomposition(repeated_traversals(schedule))
+        assert decomposition.decomposable
+        assert decomposition.num_phases == 3
+
+    def test_non_decomposable_trace(self):
+        decomposition = phase_decomposition(Trace([0, 1, 0, 1, 2]))
+        assert not decomposition.decomposable
+
+    def test_remainder_reported(self):
+        decomposition = phase_decomposition(Trace([0, 1, 2, 2, 1, 0, 0]))
+        assert not decomposition.decomposable
+        assert decomposition.num_phases == 2
+        assert decomposition.remainder.tolist() == [0]
+
+    def test_empty_trace(self):
+        decomposition = phase_decomposition(Trace([]))
+        assert decomposition.decomposable
+        assert decomposition.num_phases == 0
+
+    def test_single_phase(self):
+        decomposition = phase_decomposition(Trace([3, 1, 2, 0]))
+        assert decomposition.decomposable
+        assert decomposition.num_phases == 1
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            phase_decomposition(np.zeros((2, 2), dtype=int))
+
+
+class TestRetraversalPermutations:
+    def test_identity_and_reverse_phases(self):
+        schedule = [Permutation.identity(4), Permutation.identity(4), Permutation.reverse(4)]
+        decomposition = phase_decomposition(repeated_traversals(schedule))
+        sigmas = retraversal_permutations(decomposition)
+        assert len(sigmas) == 2
+        assert sigmas[0].is_identity()
+        assert sigmas[1].is_reverse()
+
+    def test_relabelling_relative_to_previous_phase(self):
+        # phases: 0 1 2 | 2 1 0 | 0 1 2 ; relative permutations are both the reverse
+        trace = Trace([0, 1, 2, 2, 1, 0, 0, 1, 2])
+        sigmas = retraversal_permutations(phase_decomposition(trace))
+        assert all(s.is_reverse() for s in sigmas)
+
+    def test_arbitrary_items_relabelled(self):
+        trace = Trace([10, 30, 20, 20, 10, 30])
+        decomposition = phase_decomposition(trace)
+        (sigma,) = retraversal_permutations(decomposition)
+        # phase 1 order: 10,30,20 -> positions 0,1,2 ; phase 2 accesses 20,10,30 -> (2,0,1)
+        assert sigma.one_line == (2, 0, 1)
+
+
+class TestPrediction:
+    def test_prediction_exact_for_decomposable_traces(self, rng):
+        m, passes = 16, 4
+        schedule = [random_permutation(m, rng) for _ in range(passes)]
+        schedule[0] = Permutation.identity(m)
+        trace = repeated_traversals(schedule)
+        decomposition = phase_decomposition(trace)
+        assert decomposition.decomposable
+        for cache_size in (2, 5, 8, 16):
+            predicted = predicted_hits(decomposition, cache_size)
+            measured = LRUCache(cache_size).run(trace).hits
+            assert predicted == measured
+
+    def test_prediction_error_report_decomposable(self):
+        trace = PeriodicTrace.sawtooth(8).to_trace()
+        report = prediction_error(trace, 4)
+        assert report["decomposable"]
+        assert report["absolute_error"] == 0
+        assert report["measured_hits"] == 4
+
+    def test_prediction_error_general_trace(self, rng):
+        trace = zipfian_trace(200, 20, rng=rng)
+        report = prediction_error(trace, 10)
+        assert not report["decomposable"]
+        assert report["measured_hits"] >= 0
+        assert report["absolute_error"] >= 0
+
+    def test_predicted_hits_validation(self):
+        decomposition = phase_decomposition(PeriodicTrace.cyclic(4).to_trace())
+        with pytest.raises(ValueError):
+            predicted_hits(decomposition, 0)

@@ -1,0 +1,117 @@
+"""Unit tests for the trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Permutation, max_inversions
+from repro.trace import (
+    blocked_traversal,
+    column_major_matrix,
+    cyclic_retraversal,
+    fixed_inversion_retraversal,
+    random_retraversal,
+    random_trace,
+    repeated_traversals,
+    row_major_matrix,
+    sawtooth_retraversal,
+    strided_traversal,
+    tiled_matrix,
+    zipfian_trace,
+)
+
+
+class TestRetraversalGenerators:
+    def test_cyclic_and_sawtooth(self):
+        assert cyclic_retraversal(5).sigma.is_identity()
+        assert sawtooth_retraversal(5).sigma.is_reverse()
+
+    def test_random_retraversal_valid(self, rng):
+        pt = random_retraversal(12, rng)
+        assert sorted(pt.sigma.one_line) == list(range(12))
+
+    def test_fixed_inversion_retraversal(self, rng):
+        for target in (0, 5, 20, max_inversions(10)):
+            pt = fixed_inversion_retraversal(10, target, rng)
+            assert pt.sigma.inversions() == target
+
+    def test_repeated_traversals_trace(self):
+        sigma = Permutation.reverse(3)
+        trace = repeated_traversals([Permutation.identity(3), sigma, Permutation.identity(3)])
+        assert trace.accesses.tolist() == [0, 1, 2, 2, 1, 0, 0, 1, 2]
+
+    def test_repeated_traversals_validation(self):
+        with pytest.raises(ValueError):
+            repeated_traversals([])
+        with pytest.raises(ValueError):
+            repeated_traversals([Permutation.identity(2), Permutation.identity(3)])
+
+
+class TestArrayWalks:
+    def test_strided_traversal_visits_everything(self):
+        sigma = strided_traversal(10, 3)
+        assert sorted(sigma.one_line) == list(range(10))
+        assert sigma.one_line[:4] == (0, 3, 6, 9)
+
+    def test_strided_requires_coprime(self):
+        with pytest.raises(ValueError):
+            strided_traversal(10, 5)
+
+    def test_blocked_traversal_reverses_blocks(self):
+        sigma = blocked_traversal(6, 2)
+        assert sigma.one_line == (4, 5, 2, 3, 0, 1)
+
+    def test_blocked_traversal_partial_block(self):
+        sigma = blocked_traversal(5, 2)
+        assert sorted(sigma.one_line) == list(range(5))
+        assert sigma.one_line[0] == 4
+
+    def test_row_major_is_identity(self):
+        assert row_major_matrix(3, 4).is_identity()
+
+    def test_column_major_transposes_order(self):
+        sigma = column_major_matrix(2, 3)
+        assert sigma.one_line == (0, 3, 1, 4, 2, 5)
+
+    def test_column_major_is_permutation(self):
+        sigma = column_major_matrix(5, 7)
+        assert sorted(sigma.one_line) == list(range(35))
+
+    def test_tiled_matrix_covers_all_elements(self):
+        sigma = tiled_matrix(4, 6, 2, 3)
+        assert sorted(sigma.one_line) == list(range(24))
+        # first tile is the top-left 2x3 block in row-major order
+        assert sigma.one_line[:6] == (0, 1, 2, 6, 7, 8)
+
+    def test_tiled_matrix_partial_tiles(self):
+        sigma = tiled_matrix(3, 5, 2, 2)
+        assert sorted(sigma.one_line) == list(range(15))
+
+
+class TestSyntheticTraces:
+    def test_random_trace_footprint_bounded(self, rng):
+        trace = random_trace(500, 20, rng)
+        assert len(trace) == 500
+        assert trace.footprint <= 20
+
+    def test_random_trace_zero_length(self, rng):
+        assert len(random_trace(0, 5, rng)) == 0
+
+    def test_zipfian_trace_skewed(self, rng):
+        trace = zipfian_trace(5000, 50, exponent=1.2, rng=rng)
+        counts = np.bincount(trace.accesses, minlength=50)
+        assert counts[0] > counts[10] > counts[-1]
+
+    def test_zipfian_exponent_zero_is_uniformish(self, rng):
+        trace = zipfian_trace(2000, 10, exponent=0.0, rng=rng)
+        counts = np.bincount(trace.accesses, minlength=10)
+        assert counts.min() > 100
+
+    def test_zipfian_validation(self, rng):
+        with pytest.raises(ValueError):
+            zipfian_trace(10, 5, exponent=-1.0, rng=rng)
+
+    def test_generators_reproducible_with_seed(self):
+        assert random_trace(50, 10, 3) == random_trace(50, 10, 3)
+        assert zipfian_trace(50, 10, rng=3) == zipfian_trace(50, 10, rng=3)

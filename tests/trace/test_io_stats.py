@@ -1,0 +1,100 @@
+"""Unit tests for trace I/O and trace statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    PeriodicTrace,
+    Trace,
+    locality_score,
+    read_npz,
+    read_text,
+    summarize,
+    write_npz,
+    write_text,
+    zipfian_trace,
+)
+
+
+class TestTextIO:
+    def test_round_trip(self, tmp_path, rng):
+        trace = zipfian_trace(100, 20, rng=rng)
+        path = write_text(trace, tmp_path / "trace.txt")
+        loaded = read_text(path)
+        assert loaded == trace
+        assert loaded.name == trace.name
+
+    def test_round_trip_without_header(self, tmp_path):
+        trace = Trace([5, 3, 5], name="tiny")
+        path = write_text(trace, tmp_path / "bare.txt", header=False)
+        loaded = read_text(path)
+        assert loaded == trace
+        assert loaded.name == "bare"
+
+    def test_reads_files_with_blank_lines_and_comments(self, tmp_path):
+        path = tmp_path / "manual.txt"
+        path.write_text("# comment\n\n3\n1\n\n2\n")
+        trace = read_text(path, name="manual")
+        assert trace.accesses.tolist() == [3, 1, 2]
+        assert trace.name == "manual"
+
+
+class TestNpzIO:
+    def test_round_trip_with_metadata(self, tmp_path, rng):
+        trace = zipfian_trace(64, 16, rng=rng)
+        write_npz(trace, tmp_path / "trace.npz", metadata={"source": "unit-test"})
+        loaded, meta = read_npz(tmp_path / "trace.npz")
+        assert loaded == trace
+        assert meta["source"] == "unit-test"
+        assert meta["footprint"] == trace.footprint
+
+    def test_round_trip_without_metadata(self, tmp_path):
+        trace = Trace([0, 1, 2, 1, 0])
+        write_npz(trace, tmp_path / "plain.npz")
+        loaded, meta = read_npz(tmp_path / "plain.npz")
+        assert loaded == trace
+        assert meta["name"] == trace.name
+
+
+class TestStats:
+    def test_summary_of_sawtooth(self):
+        stats = summarize(PeriodicTrace.sawtooth(8).to_trace())
+        assert stats.accesses == 16
+        assert stats.footprint == 8
+        assert stats.cold_accesses == 8
+        assert stats.mean_stack_distance == pytest.approx((8 + 1) / 2)
+        assert stats.max_stack_distance == 8
+        assert stats.reuse_fraction() == pytest.approx(0.5)
+
+    def test_summary_of_cyclic(self):
+        stats = summarize(PeriodicTrace.cyclic(8).to_trace())
+        assert stats.mean_stack_distance == pytest.approx(8.0)
+
+    def test_summary_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize(Trace([]))
+
+    def test_summary_no_reuse(self):
+        stats = summarize(Trace(range(10)))
+        assert stats.cold_accesses == 10
+        assert np.isnan(stats.mean_stack_distance)
+        assert stats.reuse_fraction() == 0.0
+
+    def test_locality_score_extremes(self):
+        assert locality_score(PeriodicTrace.cyclic(32).to_trace()) == pytest.approx(0.0)
+        assert locality_score(PeriodicTrace.sawtooth(32).to_trace()) == pytest.approx(1.0)
+
+    def test_locality_score_monotone_in_inversions(self, rng):
+        from repro.trace import fixed_inversion_retraversal
+
+        low = fixed_inversion_retraversal(32, 50, rng)
+        high = fixed_inversion_retraversal(32, 400, rng)
+        assert locality_score(low.to_trace()) < locality_score(high.to_trace())
+
+    def test_locality_score_no_reuse_trace(self):
+        assert locality_score(Trace(range(20))) == 0.0
+
+    def test_locality_score_single_item(self):
+        assert locality_score(Trace([0, 0, 0])) in (0.0, 1.0)

@@ -1,0 +1,89 @@
+"""Unit tests for the Trace and PeriodicTrace containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Permutation, cache_hit_vector
+from repro.trace import PeriodicTrace, Trace
+
+
+class TestTrace:
+    def test_basic_properties(self):
+        trace = Trace([3, 1, 3, 2], name="demo")
+        assert len(trace) == 4
+        assert trace.footprint == 3
+        assert trace.distinct_items().tolist() == [1, 2, 3]
+        assert list(trace) == [3, 1, 3, 2]
+        assert trace[0] == 3
+
+    def test_slicing_returns_trace(self):
+        trace = Trace(range(10))
+        sliced = trace[2:5]
+        assert isinstance(sliced, Trace)
+        assert sliced.accesses.tolist() == [2, 3, 4]
+
+    def test_equality(self):
+        assert Trace([1, 2]) == Trace([1, 2])
+        assert Trace([1, 2]) != Trace([2, 1])
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValueError):
+            Trace([0, -1])
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            Trace([0.5, 1.2])
+
+    def test_empty_trace(self):
+        trace = Trace([])
+        assert len(trace) == 0
+        assert trace.footprint == 0
+
+    def test_concatenate(self):
+        combined = Trace([0, 1], name="a").concatenate(Trace([2], name="b"))
+        assert combined.accesses.tolist() == [0, 1, 2]
+        assert "a" in combined.name and "b" in combined.name
+
+    def test_relabelled_first_touch_order(self):
+        trace = Trace([100, 7, 100, 42])
+        relabelled, mapping = trace.relabelled()
+        assert relabelled.accesses.tolist() == [0, 1, 0, 2]
+        assert mapping == {100: 0, 7: 1, 42: 2}
+
+    def test_repr_contains_name_and_length(self):
+        trace = Trace(range(20), name="long")
+        assert "long" in repr(trace)
+        assert "20" in repr(trace)
+        assert "..." in repr(trace)
+
+
+class TestPeriodicTrace:
+    def test_traversals(self):
+        pt = PeriodicTrace(Permutation([2, 0, 1]))
+        assert pt.m == 3
+        assert pt.first_traversal().tolist() == [0, 1, 2]
+        assert pt.second_traversal().tolist() == [2, 0, 1]
+        assert pt.to_trace().accesses.tolist() == [0, 1, 2, 2, 0, 1]
+
+    def test_relabelled_items(self):
+        pt = PeriodicTrace(Permutation([1, 0]), items=(10, 20))
+        assert pt.to_trace().accesses.tolist() == [10, 20, 20, 10]
+
+    def test_items_length_mismatch(self):
+        with pytest.raises(ValueError):
+            PeriodicTrace(Permutation([0, 1]), items=(1, 2, 3))
+
+    def test_cyclic_and_sawtooth_constructors(self):
+        assert PeriodicTrace.cyclic(4).sigma.is_identity()
+        assert PeriodicTrace.sawtooth(4).sigma.is_reverse()
+
+    def test_profile_matches_core(self):
+        sigma = Permutation([1, 3, 0, 2])
+        profile = PeriodicTrace(sigma).profile()
+        assert profile.hit_vector == tuple(int(x) for x in cache_hit_vector(sigma))
+
+    def test_trace_name_mentions_inversions(self):
+        pt = PeriodicTrace(Permutation.reverse(4))
+        assert "ell=6" in pt.to_trace().name

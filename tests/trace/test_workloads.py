@@ -1,0 +1,153 @@
+"""Unit tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Permutation
+from repro.trace import (
+    attention_parameter_trace,
+    gnn_neighbor_trace,
+    matrix_multiply_blocked,
+    matrix_multiply_ijk,
+    mlp_parameter_trace,
+    stencil_sweeps,
+    stream_copy,
+    stream_triad,
+    summarize,
+)
+from repro.cache import LRUCache
+
+
+class TestStream:
+    def test_copy_footprint_and_length(self):
+        trace = stream_copy(100, block=1)
+        assert len(trace) == 200
+        assert trace.footprint == 200
+
+    def test_copy_blocked_granularity(self):
+        trace = stream_copy(100, block=10)
+        assert trace.footprint == 20
+
+    def test_copy_no_reuse_within_single_pass(self):
+        stats = summarize(stream_copy(50))
+        assert stats.cold_accesses == stats.accesses
+
+    def test_repetitions_reuse_everything(self):
+        trace = stream_copy(50, repetitions=3)
+        stats = summarize(trace)
+        assert stats.cold_accesses == 100
+        assert stats.accesses == 300
+
+    def test_triad_three_arrays(self):
+        trace = stream_triad(60, block=4)
+        assert trace.footprint == 45
+        assert len(trace) == 180
+
+    def test_stream_thrashes_small_cache(self):
+        trace = stream_copy(64, repetitions=4)
+        stats = LRUCache(16).run(trace)
+        assert stats.hit_ratio == 0.0
+
+
+class TestLinearAlgebra:
+    def test_matmul_ijk_footprint(self):
+        n = 4
+        trace = matrix_multiply_ijk(n)
+        assert trace.footprint == 3 * n * n
+        assert len(trace) == 3 * n**3
+
+    def test_matmul_blocked_same_footprint_and_length(self):
+        n, tile = 6, 2
+        naive = matrix_multiply_ijk(n)
+        blocked = matrix_multiply_blocked(n, tile)
+        assert naive.footprint == blocked.footprint
+        assert len(naive) == len(blocked)
+        assert np.array_equal(np.sort(naive.distinct_items()), np.sort(blocked.distinct_items()))
+
+    def test_blocking_improves_locality(self):
+        n, tile = 8, 2
+        cache = n * n // 2
+        naive = LRUCache(cache).run(matrix_multiply_ijk(n))
+        blocked = LRUCache(cache).run(matrix_multiply_blocked(n, tile))
+        assert blocked.miss_ratio < naive.miss_ratio
+
+    def test_stencil_reverse_odd_improves_locality(self):
+        n, sweeps, cache = 64, 4, 16
+        forward = LRUCache(cache).run(stencil_sweeps(n, sweeps, reverse_odd=False))
+        zigzag = LRUCache(cache).run(stencil_sweeps(n, sweeps, reverse_odd=True))
+        assert zigzag.miss_ratio < forward.miss_ratio
+
+    def test_stencil_length(self):
+        trace = stencil_sweeps(10, 2)
+        assert len(trace) == 2 * (10 - 2) * 3
+
+
+class TestModelTraces:
+    def test_mlp_trace_shape(self):
+        trace = mlp_parameter_trace([4, 8, 2], passes=2, granularity=1)
+        weights = 4 * 8 + 8 * 2
+        assert trace.footprint == weights
+        assert len(trace) == 2 * weights
+
+    def test_mlp_requires_two_layers(self):
+        with pytest.raises(ValueError):
+            mlp_parameter_trace([4])
+
+    def test_mlp_weight_order_applied_on_odd_passes(self):
+        m = 4 * 2 + 2 * 2
+        order = Permutation.reverse(m)
+        trace = mlp_parameter_trace([4, 2, 2], passes=2, granularity=1, weight_order=order)
+        first = trace.accesses[:m]
+        second = trace.accesses[m:]
+        assert np.array_equal(second, first[::-1])
+
+    def test_mlp_weight_order_size_mismatch(self):
+        with pytest.raises(ValueError):
+            mlp_parameter_trace([4, 2], passes=2, weight_order=Permutation.identity(3))
+
+    def test_mlp_sawtooth_passes_beat_cyclic(self):
+        layers = [16, 32, 8]
+        m = 16 * 32 + 32 * 8
+        cache = m // 2
+        cyclic = mlp_parameter_trace(layers, passes=4, granularity=1)
+        saw = mlp_parameter_trace(layers, passes=4, granularity=1, weight_order=Permutation.reverse(m))
+        assert LRUCache(cache).run(saw).miss_ratio < LRUCache(cache).run(cyclic).miss_ratio
+
+    def test_attention_trace_shape(self):
+        trace = attention_parameter_trace(64, 4, passes=2, granularity=64)
+        assert len(trace) == 2 * trace.footprint
+
+    def test_attention_validation(self):
+        with pytest.raises(ValueError):
+            attention_parameter_trace(30, 4)
+        with pytest.raises(ValueError):
+            attention_parameter_trace(32, 4, head_order=Permutation.identity(3))
+
+    def test_attention_head_order_on_even_passes(self):
+        trace_default = attention_parameter_trace(32, 4, passes=2, granularity=64)
+        trace_reversed = attention_parameter_trace(
+            32, 4, passes=2, granularity=64, head_order=Permutation.reverse(4)
+        )
+        half = len(trace_default) // 2
+        assert np.array_equal(trace_default.accesses[:half], trace_reversed.accesses[:half])
+        assert not np.array_equal(trace_default.accesses[half:], trace_reversed.accesses[half:])
+
+    def test_gnn_trace_items_are_nodes(self, rng):
+        trace = gnn_neighbor_trace(30, 4, rounds=2, rng=rng)
+        assert trace.footprint <= 30
+        assert trace.accesses.max() < 30
+
+    def test_gnn_node_order_changes_trace(self, rng):
+        order = Permutation.reverse(30)
+        a = gnn_neighbor_trace(30, 4, rounds=1, rng=1)
+        b = gnn_neighbor_trace(30, 4, rounds=1, node_order=order, rng=1)
+        assert len(a) == len(b)
+        assert not np.array_equal(a.accesses, b.accesses)
+
+    def test_gnn_validation(self, rng):
+        with pytest.raises(ValueError):
+            gnn_neighbor_trace(10, 0, rng=rng)
+        with pytest.raises(ValueError):
+            gnn_neighbor_trace(10, 2, node_order=Permutation.identity(5), rng=rng)
