@@ -1,0 +1,77 @@
+"""Approximate vs. exact MRC profiling — the accuracy/cost frontier.
+
+The profiling subsystem's pitch is a predictable dial between exactness and
+speed.  This benchmark quantifies it on a Zipfian trace: the exact
+stack-distance pipeline vs. SHARDS sampling at ``R = 0.1`` and ``R = 0.01``
+vs. the one-pass streaming reuse-time (AET) model, recording wall-time
+speedups and mean/max absolute curve error.  The recorded series backs the
+subsystem's acceptance claim (>= 10x at ``R = 0.01`` with small error); the
+strict error bound itself is asserted on a pinned million-reference trace in
+``tests/profiling/test_shards.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table, run_sampling_ablation, write_csv
+from repro.profiling import parallel_reuse_histogram, shards_mrc
+from repro.trace import zipfian_trace
+
+TRACE_LENGTH = 300_000
+FOOTPRINT = 16_384
+EXPONENT = 0.8
+SEED = 7
+
+
+def test_profiling_accuracy_cost_frontier(benchmark, results_dir):
+    trace = zipfian_trace(TRACE_LENGTH, FOOTPRINT, exponent=EXPONENT, rng=SEED).accesses
+    rows = run_sampling_ablation(
+        TRACE_LENGTH, FOOTPRINT, exponent=EXPONENT, rates=(0.1, 0.01), rng=SEED
+    )
+
+    by_mode_rate = {(r["mode"], r["rate"]): r for r in rows}
+    shards_coarse = by_mode_rate[("shards", 0.01)]
+    shards_fine = by_mode_rate[("shards", 0.1)]
+    streamed = by_mode_rate[("reuse", 1.0)]
+
+    # The acceptance-bar shape: coarse sampling is at least 10x faster than
+    # exact with modest error; finer sampling and the AET model are tighter.
+    assert shards_coarse["speedup"] >= 10.0
+    assert shards_coarse["mae"] <= 0.08
+    assert shards_fine["mae"] <= 0.03
+    assert streamed["mae"] <= 0.05
+    assert streamed["speedup"] >= 5.0
+
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Approximate MRC profiling on zipf(s={EXPONENT}) "
+                f"({TRACE_LENGTH} refs, {FOOTPRINT} items)"
+            ),
+        )
+    )
+    write_csv(results_dir / "profiling_frontier.csv", rows)
+
+    # Time the cheap kernel under pytest-benchmark for regression tracking.
+    benchmark(shards_mrc, trace, 0.01)
+
+
+def test_parallel_chunked_histogram_scaling(benchmark, results_dir):
+    """Chunk-partial computation dominates merge: sharding a long trace keeps
+    the merged histogram bit-identical while spreading the heavy phase."""
+    trace = zipfian_trace(TRACE_LENGTH, FOOTPRINT, exponent=EXPONENT, rng=SEED).accesses
+    single = parallel_reuse_histogram(trace, workers=1)
+    rows = []
+    for chunks in (1, 4, 16):
+        start = time.perf_counter()
+        sharded = parallel_reuse_histogram(trace, workers=1, chunks=chunks)
+        seconds = time.perf_counter() - start
+        assert sharded == single
+        rows.append({"chunks": chunks, "seconds": seconds, "identical": True})
+    print()
+    print(format_table(rows, title="Sharded reuse-time histogram (single process)"))
+    write_csv(results_dir / "profiling_chunked.csv", rows)
+    benchmark(parallel_reuse_histogram, trace, workers=1, chunks=4)

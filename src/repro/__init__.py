@@ -30,6 +30,10 @@ Subpackages
 ``repro.trace``
     Trace containers, re-traversal generators and synthetic workloads
     (STREAM, matrix multiply, stencil, MLP, attention, GNN).
+``repro.profiling``
+    Approximate MRC profiling at production scale: SHARDS spatial sampling,
+    a one-pass streaming reuse-time/AET model, a sharded parallel execution
+    engine, and curve-error metrics.
 ``repro.ml``
     The Section VI application layer: permutation-equivariant models and
     Theorem-4 traversal scheduling for their parameter accesses.

@@ -11,6 +11,7 @@ from .experiments import (
     run_ml_schedule,
     run_policy_ablation,
     run_s11_ranked_labeling,
+    run_sampling_ablation,
     run_sawtooth_cyclic,
     run_theorem2_random,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "run_ml_schedule",
     "run_policy_ablation",
     "run_s11_ranked_labeling",
+    "run_sampling_ablation",
     "run_sawtooth_cyclic",
     "run_theorem2_random",
     "cover_degree_by_rank",

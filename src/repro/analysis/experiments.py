@@ -30,10 +30,15 @@ run_feasibility_ablation
     Extension: exact vs. greedy constrained re-ordering on random dependence DAGs.
 run_ml_schedule
     Section VI-A end-to-end: Theorem-4 alternation on MLP / attention traces.
+run_sampling_ablation
+    Extension: accuracy/cost frontier of the approximate MRC profilers
+    (SHARDS sampling rates and the streaming reuse-time model) vs. the exact
+    curve on a Zipfian trace.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -84,6 +89,7 @@ __all__ = [
     "run_policy_ablation",
     "run_feasibility_ablation",
     "run_ml_schedule",
+    "run_sampling_ablation",
 ]
 
 
@@ -371,6 +377,77 @@ def run_feasibility_ablation(
                 "greedy_to_exact": float(np.mean(greedy_vals) / max(np.mean(exact_vals), 1e-12)),
             }
         )
+    return rows
+
+
+def run_sampling_ablation(
+    length: int = 120_000,
+    footprint: int = 8192,
+    *,
+    exponent: float = 0.8,
+    rates: Sequence[float] = (0.1, 0.01),
+    rng=7,
+) -> list[dict]:
+    """Accuracy/cost frontier of approximate MRC profiling on a Zipfian trace.
+
+    Builds the exact curve once, then each approximate profiler (SHARDS at
+    every rate in ``rates`` plus the one-pass reuse-time/AET model) and
+    reports wall time, speedup over exact, and mean/max absolute curve error.
+    This is the predictable accuracy-vs-cost dial of the profiling subsystem:
+    halving the rate should roughly halve the cost while degrading error
+    gracefully.
+    """
+    from ..cache.mrc import mrc_from_trace
+    from ..profiling.accuracy import compare_curves
+    from ..profiling.reuse import reuse_mrc
+    from ..profiling.shards import shards_mrc
+    from ..trace.generators import zipfian_trace
+
+    trace = zipfian_trace(length, footprint, exponent=exponent, rng=rng).accesses
+
+    start = time.perf_counter()
+    exact = mrc_from_trace(trace)
+    exact_seconds = time.perf_counter() - start
+
+    rows = [
+        {
+            "mode": "exact",
+            "rate": 1.0,
+            "seconds": exact_seconds,
+            "speedup": 1.0,
+            "mae": 0.0,
+            "max_error": 0.0,
+        }
+    ]
+    for rate in rates:
+        start = time.perf_counter()
+        approx = shards_mrc(trace, float(rate))
+        seconds = time.perf_counter() - start
+        comparison = compare_curves(approx, exact)
+        rows.append(
+            {
+                "mode": "shards",
+                "rate": float(rate),
+                "seconds": seconds,
+                "speedup": exact_seconds / max(seconds, 1e-9),
+                "mae": comparison.mean_absolute_error,
+                "max_error": comparison.max_absolute_error,
+            }
+        )
+    start = time.perf_counter()
+    streamed = reuse_mrc(trace)
+    seconds = time.perf_counter() - start
+    comparison = compare_curves(streamed, exact)
+    rows.append(
+        {
+            "mode": "reuse",
+            "rate": 1.0,
+            "seconds": seconds,
+            "speedup": exact_seconds / max(seconds, 1e-9),
+            "mae": comparison.mean_absolute_error,
+            "max_error": comparison.max_absolute_error,
+        }
+    )
     return rows
 
 

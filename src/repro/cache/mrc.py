@@ -10,6 +10,14 @@ It also provides convenience wrappers for the paper's periodic traces so the
 closed-form curves of :func:`repro.core.hits.miss_ratio_curve` can be compared
 against trace-level measurement, and an element-wise averaging helper used by
 the Figure 1 experiment.
+
+Both construction paths here are *exact* and cost at least ``O(N log N)`` in
+the trace length; for long traces :mod:`repro.profiling` builds approximate
+curves at a fraction of the cost (SHARDS sampling at rate ``R`` does roughly
+``R`` times the work, the one-pass reuse-time model never materialises the
+trace), with the accuracy loss measured by
+:mod:`repro.profiling.accuracy` — typically a mean absolute error around
+``0.01`` at ``R = 0.01``.
 """
 
 from __future__ import annotations
@@ -56,11 +64,17 @@ class MissRatioCurve:
         return np.asarray(self.ratios, dtype=np.float64)
 
     def footprint(self, target_miss_ratio: float) -> int | None:
-        """Smallest cache size whose miss ratio is at most ``target_miss_ratio`` (or ``None``)."""
-        for c, ratio in enumerate(self.ratios, start=1):
-            if ratio <= target_miss_ratio:
-                return c
-        return None
+        """Smallest cache size whose miss ratio is at most ``target_miss_ratio`` (or ``None``).
+
+        Binary search over the monotone curve: the reversed ratios are
+        non-decreasing, so the count of ratios at or below the target locates
+        the answer in ``O(log n)``.
+        """
+        reversed_ratios = self.as_array()[::-1]
+        at_or_below = int(np.searchsorted(reversed_ratios, target_miss_ratio, side="right"))
+        if at_or_below == 0:
+            return None
+        return len(self.ratios) - at_or_below + 1
 
 
 def mrc_from_trace(

@@ -1,11 +1,20 @@
 """Command-line interface.
 
-Installed as ``python -m repro``; four subcommands cover the common workflows:
+Installed as ``python -m repro``; six subcommands cover the common workflows:
 
 ``analyze``
     Reuse statistics, locality score and sampled miss ratios of a trace file.
 ``mrc``
     Full LRU miss-ratio curve of a trace file, printed or written to CSV.
+``profile``
+    Exact or *approximate* miss-ratio curve of one or more trace files via
+    the :mod:`repro.profiling` engine: ``--mode exact`` replays the exact
+    pipeline, ``--mode shards`` samples spatially at ``--rate`` (or with a
+    fixed item budget ``--smax``), ``--mode reuse`` streams a one-pass
+    reuse-time profile through the AET model.  ``--workers`` fans a batch of
+    traces — or the chunks of one long trace in ``reuse`` mode — across
+    processes, and ``--compare-exact`` reports the error and speedup against
+    the exact curve.
 ``chain``
     Run ChainFind on ``S_m`` with a chosen labeling and print the tie
     statistics (the Figure 2 measurement for a single size).
@@ -14,7 +23,7 @@ Installed as ``python -m repro``; four subcommands cover the common workflows:
     table (the same code paths the benchmark harness asserts against).
 ``generate``
     Write a synthetic trace file (re-traversals, STREAM, Zipfian) for use with
-    ``analyze``/``mrc`` or external tools.
+    ``analyze``/``mrc``/``profile`` or external tools.
 
 Examples
 --------
@@ -23,8 +32,12 @@ Examples
     python -m repro generate sawtooth --items 64 --output saw.trace
     python -m repro analyze saw.trace
     python -m repro mrc saw.trace --csv saw_mrc.csv
+    python -m repro generate zipf --length 1000000 --items 65536 -o big.trace
+    python -m repro profile big.trace --mode shards --rate 0.01
+    python -m repro profile big.trace --mode reuse --workers 4 --csv big_mrc.csv
     python -m repro chain 8 --labeling miss-ratio
     python -m repro experiment fig1
+    python -m repro experiment sampling
 """
 
 from __future__ import annotations
@@ -72,6 +85,72 @@ def _cmd_mrc(args: argparse.Namespace) -> int:
         print(f"wrote {len(rows)} rows to {path}")
     else:
         print(format_table(rows, title=f"Miss-ratio curve — {trace.name}"))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import time as _time
+    from pathlib import Path
+
+    from .analysis.reporting import format_table, write_csv
+    from .cache.mrc import mrc_from_trace
+    from .profiling.accuracy import compare_curves
+    from .profiling.engine import ProfileJob, run_jobs
+    from .trace.io import read_text
+
+    if args.csv and len(args.trace_files) != 1:
+        print("--csv requires exactly one trace file", file=sys.stderr)
+        return 2
+
+    # Without --compare-exact each worker loads its own file; only the exact
+    # comparison needs the access arrays in this process.
+    jobs = []
+    for path in args.trace_files:
+        common = dict(
+            mode=args.mode,
+            rate=args.rate,
+            smax=args.smax,
+            seed=args.seed,
+            n_seeds=args.seeds,
+            max_cache_size=args.max_size,
+        )
+        if args.compare_exact:
+            trace = read_text(path)
+            jobs.append(ProfileJob(trace=trace.accesses, name=trace.name, **common))
+        else:
+            jobs.append(ProfileJob(path=str(path), name=Path(path).stem, **common))
+
+    results = run_jobs(jobs, workers=args.workers)
+
+    rows = []
+    for job, result in zip(jobs, results):
+        row = {
+            "trace": result.name,
+            "mode": result.mode,
+            "accesses": result.accesses,
+            "curve_points": result.curve.max_cache_size,
+            "seconds": round(result.seconds, 4),
+        }
+        if args.compare_exact:
+            start = _time.perf_counter()
+            exact = mrc_from_trace(job.trace, max_cache_size=args.max_size)
+            exact_seconds = _time.perf_counter() - start
+            comparison = compare_curves(result.curve, exact)
+            row["exact_seconds"] = round(exact_seconds, 4)
+            row["speedup"] = round(exact_seconds / max(result.seconds, 1e-9), 1)
+            row["mae"] = round(comparison.mean_absolute_error, 5)
+            row["max_error"] = round(comparison.max_absolute_error, 5)
+        rows.append(row)
+    print(format_table(rows, title=f"profile --mode {args.mode}"))
+
+    if args.csv:
+        curve = results[0].curve
+        curve_rows = [
+            {"cache_size": c + 1, "miss_ratio": ratio}
+            for c, ratio in enumerate(curve.ratios)
+        ]
+        path = write_csv(args.csv, curve_rows)
+        print(f"wrote {len(curve_rows)} rows to {path}")
     return 0
 
 
@@ -127,6 +206,7 @@ _EXPERIMENTS = {
     "policy-ablation": ("run_policy_ablation", {}),
     "feasibility": ("run_feasibility_ablation", {}),
     "ml-schedule": ("run_ml_schedule", {}),
+    "sampling": ("run_sampling_ablation", {}),
 }
 
 
@@ -200,6 +280,41 @@ def build_parser() -> argparse.ArgumentParser:
     mrc.add_argument("--max-size", type=int, default=None, help="largest cache size to report")
     mrc.add_argument("--csv", default=None, help="write the curve to this CSV file instead of printing")
     mrc.set_defaults(func=_cmd_mrc)
+
+    profile = subparsers.add_parser(
+        "profile", help="exact or approximate miss-ratio curve via the profiling engine"
+    )
+    profile.add_argument("trace_files", nargs="+", help="text trace file(s)")
+    profile.add_argument(
+        "--mode",
+        choices=["exact", "shards", "reuse"],
+        default="shards",
+        help="exact pipeline, SHARDS sampling, or one-pass reuse-time (AET) model",
+    )
+    profile.add_argument("--rate", type=float, default=0.01, help="SHARDS sampling rate R")
+    profile.add_argument(
+        "--smax", type=int, default=None, help="fixed-size SHARDS: max distinct sampled items"
+    )
+    profile.add_argument("--seed", type=int, default=0, help="base hash seed for sampling")
+    profile.add_argument(
+        "--seeds", type=int, default=2, help="number of pooled SHARDS hash functions"
+    )
+    profile.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process pool size (batch of traces, or chunks of one trace in reuse mode)",
+    )
+    profile.add_argument("--max-size", type=int, default=None, help="largest cache size to report")
+    profile.add_argument(
+        "--csv", default=None, help="write the curve to this CSV file (single trace only)"
+    )
+    profile.add_argument(
+        "--compare-exact",
+        action="store_true",
+        help="also compute the exact curve and report error and speedup",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     chain = subparsers.add_parser("chain", help="run ChainFind on S_m")
     chain.add_argument("m", type=int, help="number of data items")

@@ -1,0 +1,69 @@
+"""Approximate MRC profiling: sampling, streaming models, sharded execution.
+
+The exact miss-ratio-curve machinery in :mod:`repro.cache` processes every
+reference of a materialised trace in one process.  This subsystem provides
+the production-profiler counterparts, each trading a controlled amount of
+accuracy for orders-of-magnitude cost reductions:
+
+:mod:`repro.profiling.shards`
+    SHARDS-style spatially-hashed sampling (fixed-rate and fixed-size) with
+    distance rescaling and sample-size correction.
+:mod:`repro.profiling.reuse`
+    A one-pass, bounded-memory streaming reuse-time profiler and the
+    average-eviction-time (AET) conversion to a miss-ratio curve; works on
+    generator-backed traces that are never materialised.
+:mod:`repro.profiling.engine`
+    A sharded execution engine: ``ProfileJob`` specs fanned over a
+    ``multiprocessing`` pool, plus mergeable chunk partials that parallelise
+    one long trace with bit-identical results.
+:mod:`repro.profiling.accuracy`
+    Mean/max absolute-error comparison of approximate vs. exact curves, used
+    by the tests and benchmarks to assert error bounds.
+"""
+
+from .accuracy import CurveComparison, compare_curves, curve_values, mean_absolute_error
+from .engine import (
+    ChunkPartial,
+    ProfileJob,
+    ProfileResult,
+    chunk_partial,
+    merge_partials,
+    parallel_reuse_histogram,
+    parallel_reuse_mrc,
+    run_job,
+    run_jobs,
+)
+from .reuse import ReuseTimeHistogram, ReuseTimeProfiler, reuse_mrc
+from .shards import (
+    HASH_SPACE,
+    adaptive_rate,
+    sample_trace,
+    scaled_distance_histogram,
+    shards_mrc,
+    spatial_hash,
+)
+
+__all__ = [
+    "CurveComparison",
+    "compare_curves",
+    "curve_values",
+    "mean_absolute_error",
+    "ChunkPartial",
+    "ProfileJob",
+    "ProfileResult",
+    "chunk_partial",
+    "merge_partials",
+    "parallel_reuse_histogram",
+    "parallel_reuse_mrc",
+    "run_job",
+    "run_jobs",
+    "ReuseTimeHistogram",
+    "ReuseTimeProfiler",
+    "reuse_mrc",
+    "HASH_SPACE",
+    "adaptive_rate",
+    "sample_trace",
+    "scaled_distance_histogram",
+    "shards_mrc",
+    "spatial_hash",
+]

@@ -1,0 +1,321 @@
+"""Sharded, parallel execution of profiling jobs.
+
+Two fan-out shapes cover the scale axis of the profiling subsystem:
+
+* **A batch of traces** — :func:`run_jobs` maps :class:`ProfileJob` specs
+  (trace array or file path + profiling mode) over a ``multiprocessing``
+  worker pool, one job per trace, and collects :class:`ProfileResult`\\ s.
+* **Chunks of one long trace** — :func:`parallel_reuse_histogram` splits a
+  trace into contiguous chunks, computes a :class:`ChunkPartial` per chunk in
+  parallel, and merges the partials *in chunk order* into a reuse-time
+  histogram that is bit-for-bit identical to what a single sequential pass
+  would produce (asserted in ``tests/profiling/test_engine.py``).
+
+The chunk partial records, besides the within-chunk reuse-time histogram
+(computed with vectorised NumPy, so the parallel path is also the fast path
+for in-memory arrays), the global position of each item's first and last
+access in the chunk.  Merging resolves every cross-chunk reuse exactly: an
+item first touched in chunk ``i`` whose most recent prior access lives in
+chunk ``j < i`` contributes the same reuse time the sequential pass would
+have recorded, and items never seen before count as cold misses.
+
+``workers=1`` runs everything inline (no pool), which keeps single-process
+results trivially deterministic and makes the parallel path a pure
+performance knob.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..cache.mrc import MissRatioCurve, mrc_from_trace
+from .reuse import ReuseTimeHistogram
+from .shards import shards_mrc
+
+__all__ = [
+    "ProfileJob",
+    "ProfileResult",
+    "run_job",
+    "run_jobs",
+    "ChunkPartial",
+    "chunk_partial",
+    "merge_partials",
+    "parallel_reuse_histogram",
+    "parallel_reuse_mrc",
+]
+
+MODES = ("exact", "shards", "reuse")
+
+
+@dataclass(frozen=True)
+class ProfileJob:
+    """Specification of one profiling task (picklable, so pool-dispatchable).
+
+    Exactly one of ``trace`` (an integer array) or ``path`` (a text trace
+    file readable by :func:`repro.trace.io.read_text`) must be provided.
+    """
+
+    trace: np.ndarray | None = None
+    path: str | None = None
+    name: str = "trace"
+    mode: str = "exact"
+    rate: float = 0.01
+    smax: int | None = None
+    seed: int = 0
+    n_seeds: int = 2
+    fine_limit: int = 4096
+    coarse_per_octave: int = 256
+    max_cache_size: int | None = None
+
+    def __post_init__(self):
+        if (self.trace is None) == (self.path is None):
+            raise ValueError("provide exactly one of trace= or path=")
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class ProfileResult:
+    """Outcome of one :class:`ProfileJob`."""
+
+    name: str
+    mode: str
+    curve: MissRatioCurve
+    accesses: int
+    seconds: float
+
+
+def _load(job: ProfileJob) -> np.ndarray:
+    if job.trace is not None:
+        return np.asarray(job.trace)
+    from ..trace.io import read_text
+
+    return read_text(Path(job.path)).accesses
+
+
+def run_job(job: ProfileJob) -> ProfileResult:
+    """Execute one profiling job in the current process."""
+    arr = _load(job)
+    start = time.perf_counter()
+    if job.mode == "exact":
+        curve = mrc_from_trace(arr, max_cache_size=job.max_cache_size)
+    elif job.mode == "shards":
+        curve = shards_mrc(
+            arr,
+            job.rate,
+            smax=job.smax,
+            seed=job.seed,
+            n_seeds=job.n_seeds,
+            max_cache_size=job.max_cache_size,
+        )
+    else:  # reuse
+        histogram = parallel_reuse_histogram(
+            arr,
+            workers=1,
+            fine_limit=job.fine_limit,
+            coarse_per_octave=job.coarse_per_octave,
+        )
+        curve = histogram.to_mrc(job.max_cache_size or max(histogram.cold, 1))
+    seconds = time.perf_counter() - start
+    return ProfileResult(
+        name=job.name, mode=job.mode, curve=curve, accesses=int(arr.size), seconds=seconds
+    )
+
+
+def _pool(workers: int):
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        context = multiprocessing.get_context()
+    return context.Pool(processes=workers)
+
+
+def run_jobs(jobs: list[ProfileJob], *, workers: int = 1) -> list[ProfileResult]:
+    """Run a batch of profiling jobs, fanning across ``workers`` processes.
+
+    Results are returned in job order regardless of completion order.  A
+    single ``reuse``-mode job with ``workers > 1`` is sharded *within* the
+    trace (parallel chunk partials) instead of occupying one worker.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if len(jobs) == 1 and workers > 1 and jobs[0].mode == "reuse":
+        job = jobs[0]
+        arr = _load(job)
+        start = time.perf_counter()
+        curve = parallel_reuse_mrc(
+            arr,
+            workers=workers,
+            max_cache_size=job.max_cache_size,
+            fine_limit=job.fine_limit,
+            coarse_per_octave=job.coarse_per_octave,
+        )
+        seconds = time.perf_counter() - start
+        return [
+            ProfileResult(
+                name=job.name,
+                mode=job.mode,
+                curve=curve,
+                accesses=int(arr.size),
+                seconds=seconds,
+            )
+        ]
+    if workers == 1 or len(jobs) <= 1:
+        return [run_job(job) for job in jobs]
+    with _pool(min(workers, len(jobs))) as pool:
+        return pool.map(run_job, jobs)
+
+
+# --------------------------------------------------------------------------- #
+# Chunked streaming: mergeable partials over one long trace
+# --------------------------------------------------------------------------- #
+@dataclass
+class ChunkPartial:
+    """Mergeable profiling state of one contiguous chunk of a trace.
+
+    ``histogram`` holds only the reuse times whose *previous* access lies in
+    the same chunk; first accesses per item are deferred to the merge, which
+    resolves them against the preceding chunks' ``last_access`` maps.  All
+    positions are global trace positions.
+    """
+
+    offset: int
+    length: int
+    histogram: ReuseTimeHistogram
+    first_access: dict[int, int] = field(default_factory=dict)
+    last_access: dict[int, int] = field(default_factory=dict)
+
+
+def chunk_partial(
+    chunk: np.ndarray,
+    offset: int,
+    *,
+    fine_limit: int = 4096,
+    coarse_per_octave: int = 256,
+) -> ChunkPartial:
+    """Profile one chunk independently of every other chunk (vectorised)."""
+    arr = np.asarray(chunk, dtype=np.int64)
+    histogram = ReuseTimeHistogram(
+        fine_limit=fine_limit, coarse_per_octave=coarse_per_octave
+    )
+    n = arr.size
+    if n == 0:
+        return ChunkPartial(offset=int(offset), length=0, histogram=histogram)
+    # Previous occurrence of each reference within the chunk, via a stable
+    # sort: equal items end up adjacent in access order.
+    order = np.argsort(arr, kind="stable")
+    sorted_items = arr[order]
+    same = sorted_items[1:] == sorted_items[:-1]
+    prev = np.full(n, -1, dtype=np.int64)
+    prev[order[1:][same]] = order[:-1][same]
+
+    repeat = prev >= 0
+    histogram.record_reuses(np.nonzero(repeat)[0] - prev[repeat])
+
+    first_positions = np.nonzero(~repeat)[0]
+    last_mask = np.ones(n, dtype=bool)
+    last_mask[order[:-1][same]] = False
+    last_positions = np.nonzero(last_mask)[0]
+    offset = int(offset)
+    first_access = {
+        int(arr[i]): offset + int(i) for i in first_positions
+    }
+    last_access = {int(arr[i]): offset + int(i) for i in last_positions}
+    return ChunkPartial(
+        offset=offset,
+        length=int(n),
+        histogram=histogram,
+        first_access=first_access,
+        last_access=last_access,
+    )
+
+
+def merge_partials(partials: list[ChunkPartial]) -> ReuseTimeHistogram:
+    """Merge chunk partials (sorted by offset) into the sequential-pass histogram."""
+    if not partials:
+        raise ValueError("need at least one chunk partial to merge")
+    ordered = sorted(partials, key=lambda p: p.offset)
+    first = ordered[0]
+    merged = ReuseTimeHistogram(
+        fine_limit=first.histogram.fine_limit,
+        coarse_per_octave=first.histogram.coarse_per_octave,
+    )
+    last_seen: dict[int, int] = {}
+    for partial in ordered:
+        merged.merge(partial.histogram)
+        # Resolve this chunk's first accesses against everything before it;
+        # each item only reads its own last_seen entry, so order is free.
+        for item, position in partial.first_access.items():
+            previous = last_seen.get(item)
+            if previous is None:
+                merged.record_cold()
+            else:
+                merged.record_reuse(position - previous)
+        last_seen.update(partial.last_access)
+    return merged
+
+
+def _chunk_worker(args: tuple[np.ndarray, int, int, int]) -> ChunkPartial:
+    chunk, offset, fine_limit, coarse_per_octave = args
+    return chunk_partial(
+        chunk, offset, fine_limit=fine_limit, coarse_per_octave=coarse_per_octave
+    )
+
+
+def parallel_reuse_histogram(
+    trace: np.ndarray,
+    *,
+    workers: int = 1,
+    chunks: int | None = None,
+    fine_limit: int = 4096,
+    coarse_per_octave: int = 256,
+) -> ReuseTimeHistogram:
+    """Reuse-time histogram of a trace, computed over parallel chunk partials.
+
+    The result is independent of ``workers`` and ``chunks`` (bit-identical to
+    a single sequential pass); both knobs only change how the work is spread.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    arr = np.asarray(trace, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("cannot profile an empty trace")
+    pieces = max(1, int(chunks) if chunks is not None else workers)
+    pieces = min(pieces, arr.size)
+    splits = np.array_split(arr, pieces)
+    offsets = np.cumsum([0] + [len(s) for s in splits[:-1]])
+    tasks = [
+        (split, int(offset), fine_limit, coarse_per_octave)
+        for split, offset in zip(splits, offsets)
+    ]
+    if workers == 1 or pieces == 1:
+        partials = [_chunk_worker(task) for task in tasks]
+    else:
+        with _pool(min(workers, pieces)) as pool:
+            partials = pool.map(_chunk_worker, tasks)
+    return merge_partials(partials)
+
+
+def parallel_reuse_mrc(
+    trace: np.ndarray,
+    *,
+    workers: int = 1,
+    chunks: int | None = None,
+    max_cache_size: int | None = None,
+    fine_limit: int = 4096,
+    coarse_per_octave: int = 256,
+) -> MissRatioCurve:
+    """Miss-ratio curve from :func:`parallel_reuse_histogram` via the AET model."""
+    histogram = parallel_reuse_histogram(
+        trace,
+        workers=workers,
+        chunks=chunks,
+        fine_limit=fine_limit,
+        coarse_per_octave=coarse_per_octave,
+    )
+    return histogram.to_mrc(max_cache_size or max(histogram.cold, 1))

@@ -14,7 +14,7 @@ All generators return either a :class:`~repro.trace.trace.PeriodicTrace`
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -35,6 +35,7 @@ __all__ = [
     "column_major_matrix",
     "tiled_matrix",
     "zipfian_trace",
+    "zipfian_stream",
     "random_trace",
 ]
 
@@ -163,6 +164,15 @@ def random_trace(
     return Trace(generator.integers(0, footprint, size=length), name="uniform")
 
 
+def _zipf_probabilities(footprint: int, exponent: float) -> np.ndarray:
+    """Normalised Zipf popularity of items ``0 .. footprint-1`` (shared by the
+    materialised and streaming generators so their distributions cannot drift)."""
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    weights = 1.0 / np.arange(1, footprint + 1, dtype=np.float64) ** exponent
+    return weights / weights.sum()
+
+
 def zipfian_trace(
     length: int,
     footprint: int,
@@ -177,10 +187,34 @@ def zipfian_trace(
     """
     length = check_nonnegative_int(length, "length")
     footprint = check_positive_int(footprint, "footprint")
-    if exponent < 0:
-        raise ValueError(f"exponent must be non-negative, got {exponent}")
     generator = ensure_rng(rng)
-    weights = 1.0 / np.arange(1, footprint + 1, dtype=np.float64) ** exponent
-    probabilities = weights / weights.sum()
+    probabilities = _zipf_probabilities(footprint, exponent)
     items = generator.choice(footprint, size=length, p=probabilities)
     return Trace(items, name=f"zipf(s={exponent})")
+
+
+def zipfian_stream(
+    length: int,
+    footprint: int,
+    exponent: float = 1.0,
+    rng: np.random.Generator | int | None = None,
+    *,
+    chunk_size: int = 65536,
+) -> Iterator[int]:
+    """A lazily generated Zipfian reference stream (never materialised).
+
+    Yields the same kind of accesses as :func:`zipfian_trace` but one item at
+    a time, drawing ``chunk_size`` references per RNG call, so traces far
+    longer than memory can feed the one-pass profiler
+    (:func:`repro.profiling.reuse_mrc`) directly.
+    """
+    length = check_nonnegative_int(length, "length")
+    footprint = check_positive_int(footprint, "footprint")
+    chunk_size = check_positive_int(chunk_size, "chunk_size")
+    generator = ensure_rng(rng)
+    probabilities = _zipf_probabilities(footprint, exponent)
+    remaining = length
+    while remaining > 0:
+        batch = generator.choice(footprint, size=min(chunk_size, remaining), p=probabilities)
+        remaining -= batch.size
+        yield from (int(x) for x in batch)

@@ -1,0 +1,62 @@
+"""Tests for the curve-error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.mrc import MissRatioCurve
+from repro.profiling import compare_curves, curve_values, mean_absolute_error
+
+
+def curve(*ratios: float) -> MissRatioCurve:
+    return MissRatioCurve(ratios=tuple(ratios), accesses=100)
+
+
+class TestCurveValues:
+    def test_crops_to_requested_length(self):
+        values = curve_values(curve(1.0, 0.5, 0.25), 2)
+        assert values.tolist() == [1.0, 0.5]
+
+    def test_extends_with_final_value(self):
+        values = curve_values(curve(1.0, 0.5), 4)
+        assert values.tolist() == [1.0, 0.5, 0.5, 0.5]
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            curve_values(curve(1.0), 0)
+
+
+class TestComparison:
+    def test_identical_curves_have_zero_error(self):
+        a = curve(1.0, 0.6, 0.2)
+        result = compare_curves(a, a)
+        assert result.mean_absolute_error == 0.0
+        assert result.max_absolute_error == 0.0
+        assert result.cache_sizes == 3
+
+    def test_known_difference(self):
+        a = curve(1.0, 0.5)
+        b = curve(0.9, 0.7)
+        result = compare_curves(a, b)
+        assert result.mean_absolute_error == pytest.approx(0.15)
+        assert result.max_absolute_error == pytest.approx(0.2)
+
+    def test_unequal_lengths_clamp_shorter_curve(self):
+        a = curve(1.0, 0.5)
+        b = curve(1.0, 0.5, 0.5, 0.1)
+        result = compare_curves(a, b)
+        assert result.cache_sizes == 4
+        # Only size 4 differs: clamped 0.5 vs 0.1.
+        assert result.mean_absolute_error == pytest.approx(0.1)
+        assert result.max_absolute_error == pytest.approx(0.4)
+
+    def test_explicit_window(self):
+        a = curve(1.0, 0.5)
+        b = curve(1.0, 0.5, 0.5, 0.1)
+        assert mean_absolute_error(a, b, max_cache_size=3) == 0.0
+
+    def test_symmetry(self):
+        a = curve(1.0, 0.4, 0.3)
+        b = curve(0.8, 0.6, 0.1)
+        assert mean_absolute_error(a, b) == mean_absolute_error(b, a)

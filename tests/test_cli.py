@@ -81,6 +81,107 @@ class TestChain:
         assert "chain_length" in capsys.readouterr().out
 
 
+class TestProfile:
+    @pytest.fixture(scope="class")
+    def zipf_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("profile") / "zipf.trace"
+        code = main(
+            [
+                "generate", "zipf", "--length", "20000", "--items", "1024",
+                "--exponent", "0.8", "--seed", "7", "-o", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    @pytest.mark.parametrize("mode", ["exact", "shards", "reuse"])
+    def test_profile_all_modes(self, zipf_file, mode, capsys):
+        assert main(["profile", str(zipf_file), "--mode", mode]) == 0
+        out = capsys.readouterr().out
+        assert f"profile --mode {mode}" in out
+        assert "seconds" in out
+
+    def test_profile_writes_csv(self, zipf_file, tmp_path, capsys):
+        csv_path = tmp_path / "approx.csv"
+        code = main(
+            ["profile", str(zipf_file), "--mode", "shards", "--rate", "0.1",
+             "--max-size", "64", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        content = csv_path.read_text().splitlines()
+        assert content[0] == "cache_size,miss_ratio"
+        assert len(content) == 65
+        ratios = [float(line.split(",")[1]) for line in content[1:]]
+        assert all(0.0 <= r <= 1.0 for r in ratios)
+        assert all(b <= a + 1e-12 for a, b in zip(ratios, ratios[1:]))
+
+    def test_profile_compare_exact_reports_error(self, zipf_file, capsys):
+        code = main(
+            ["profile", str(zipf_file), "--mode", "shards", "--rate", "0.1",
+             "--compare-exact"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mae" in out and "speedup" in out
+
+    def test_profile_reuse_workers_shards_one_trace(self, zipf_file, capsys):
+        assert main(["profile", str(zipf_file), "--mode", "reuse", "--workers", "2"]) == 0
+        assert "reuse" in capsys.readouterr().out
+
+    def test_profile_batch_of_traces(self, zipf_file, tmp_path, capsys):
+        other = tmp_path / "saw.trace"
+        assert main(["generate", "sawtooth", "--items", "32", "-o", str(other)]) == 0
+        code = main(
+            ["profile", str(zipf_file), str(other), "--mode", "exact", "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "zipf" in out and "saw" in out
+
+    def test_profile_csv_rejects_multiple_traces(self, zipf_file, tmp_path, capsys):
+        other = tmp_path / "saw2.trace"
+        assert main(["generate", "sawtooth", "--items", "16", "-o", str(other)]) == 0
+        code = main(
+            ["profile", str(zipf_file), str(other), "--csv", str(tmp_path / "x.csv")]
+        )
+        assert code == 2
+
+
+class TestEndToEndWorkflow:
+    def test_generate_analyze_mrc_profile_flow(self, tmp_path, capsys):
+        """The full CLI pipeline on one temp dir: every stage exits 0 and the
+        exact and approximate CSV curves agree at every cache size."""
+        trace_path = tmp_path / "workload.trace"
+        exact_csv = tmp_path / "exact.csv"
+        approx_csv = tmp_path / "approx.csv"
+
+        assert main(
+            ["generate", "zipf", "--length", "10000", "--items", "512",
+             "--seed", "3", "-o", str(trace_path)]
+        ) == 0
+        assert trace_path.exists()
+
+        assert main(["analyze", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace statistics" in out and "locality score" in out
+
+        assert main(["mrc", str(trace_path), "--max-size", "128", "--csv", str(exact_csv)]) == 0
+        assert main(
+            ["profile", str(trace_path), "--mode", "shards", "--rate", "0.5",
+             "--max-size", "128", "--csv", str(approx_csv)]
+        ) == 0
+
+        exact_lines = exact_csv.read_text().splitlines()
+        approx_lines = approx_csv.read_text().splitlines()
+        assert exact_lines[0] == approx_lines[0] == "cache_size,miss_ratio"
+        assert len(exact_lines) == len(approx_lines) == 129
+        for exact_line, approx_line in zip(exact_lines[1:], approx_lines[1:]):
+            exact_size, exact_ratio = exact_line.split(",")
+            approx_size, approx_ratio = approx_line.split(",")
+            assert exact_size == approx_size
+            assert abs(float(exact_ratio) - float(approx_ratio)) < 0.25
+
+
 class TestExperiment:
     @pytest.mark.parametrize("name", ["fig2", "sawtooth-cyclic", "matrix-reuse", "miss-integral"])
     def test_experiment_subcommands_run(self, name, capsys):
