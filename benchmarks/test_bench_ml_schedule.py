@@ -49,9 +49,7 @@ def test_traced_mlp_training_schedule(benchmark, results_dir):
     # schedule only changes the memory behaviour.
     naive_trace = mlp_naive.training_trace(x, y, steps=steps, learning_rate=0.0)
     schedule = alternating_schedule(Permutation.reverse(m), 2 * steps)
-    optim_trace = benchmark(
-        mlp_optim.training_trace, x, y, steps=steps, schedule=schedule, learning_rate=0.0
-    )
+    optim_trace = benchmark(mlp_optim.training_trace, x, y, steps=steps, schedule=schedule, learning_rate=0.0)
 
     rows = []
     for fraction in (0.25, 0.5, 0.75):

@@ -38,7 +38,8 @@ def test_phase_model_exact_on_epoch_workloads(benchmark, results_dir):
         rows.append({"cache_size": cache_size, "predicted_hits": predicted, "measured_hits": measured})
 
     print()
-    print(format_table(rows, title="Per-phase symmetric-locality prediction vs LRU measurement (Theorem-4 schedule, m=128, 6 passes)"))
+    title = "Per-phase symmetric-locality prediction vs LRU measurement (Theorem-4 schedule, m=128, 6 passes)"
+    print(format_table(rows, title=title))
     write_csv(results_dir / "phase_model_epochs.csv", rows)
 
 
@@ -51,7 +52,10 @@ def test_phase_model_error_on_irregular_workloads(benchmark, results_dir):
         ),
         "zipf(1.0) irregular": zipfian_trace(2000, 64, exponent=1.0, rng=rng_seed),
     }.items():
-        report = benchmark.pedantic(prediction_error, args=(trace, 32), rounds=1, iterations=1) if name == "zipf(1.0) irregular" else prediction_error(trace, 32)
+        if name == "zipf(1.0) irregular":
+            report = benchmark.pedantic(prediction_error, args=(trace, 32), rounds=1, iterations=1)
+        else:
+            report = prediction_error(trace, 32)
         rows.append({"workload": name, **report})
 
     epoch_row = rows[0]
@@ -60,5 +64,6 @@ def test_phase_model_error_on_irregular_workloads(benchmark, results_dir):
     assert not irregular_row["decomposable"]
 
     print()
-    print(format_table(rows, title="Periodic-model prediction error at cache size 32 (Section VI-D limitation, quantified)"))
+    title = "Periodic-model prediction error at cache size 32 (Section VI-D limitation, quantified)"
+    print(format_table(rows, title=title))
     write_csv(results_dir / "phase_model_error.csv", rows)

@@ -13,14 +13,14 @@ from repro.analysis import format_table, run_policy_ablation, write_csv
 
 
 def test_policy_ablation_locality_ranking(benchmark, results_dir):
-    rows = benchmark(
-        run_policy_ablation, 64, levels=(0.0, 0.25, 0.5, 0.75, 1.0), cache_fraction=0.5, trials=3, rng=0
-    )
+    rows = benchmark(run_policy_ablation, 64, levels=(0.0, 0.25, 0.5, 0.75, 1.0), cache_fraction=0.5, trials=3, rng=0)
 
     lru = [row["lru"] for row in rows]
     opt = [row["opt"] for row in rows]
-    # LRU miss ratio is monotone non-increasing in the inversion level
+    # LRU miss ratio is monotone non-increasing in the inversion level,
+    # and Belady-OPT lower-bounds LRU at every level
     assert all(b <= a + 1e-9 for a, b in zip(lru, lru[1:]))
+    assert all(o <= l_ + 1e-9 for o, l_ in zip(opt, lru))
     # identity thrashes completely, sawtooth reaches the compulsory floor
     assert lru[0] == 1.0
     assert lru[-1] < 0.8

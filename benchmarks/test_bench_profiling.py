@@ -26,9 +26,7 @@ SEED = 7
 
 def test_profiling_accuracy_cost_frontier(benchmark, results_dir):
     trace = zipfian_trace(TRACE_LENGTH, FOOTPRINT, exponent=EXPONENT, rng=SEED).accesses
-    rows = run_sampling_ablation(
-        TRACE_LENGTH, FOOTPRINT, exponent=EXPONENT, rates=(0.1, 0.01), rng=SEED
-    )
+    rows = run_sampling_ablation(TRACE_LENGTH, FOOTPRINT, exponent=EXPONENT, rates=(0.1, 0.01), rng=SEED)
 
     by_mode_rate = {(r["mode"], r["rate"]): r for r in rows}
     shards_coarse = by_mode_rate[("shards", 0.01)]
@@ -47,10 +45,7 @@ def test_profiling_accuracy_cost_frontier(benchmark, results_dir):
     print(
         format_table(
             rows,
-            title=(
-                f"Approximate MRC profiling on zipf(s={EXPONENT}) "
-                f"({TRACE_LENGTH} refs, {FOOTPRINT} items)"
-            ),
+            title=(f"Approximate MRC profiling on zipf(s={EXPONENT}) " f"({TRACE_LENGTH} refs, {FOOTPRINT} items)"),
         )
     )
     write_csv(results_dir / "profiling_frontier.csv", rows)

@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import format_table, write_csv
-from repro.cache import mrc_by_simulation, mrc_from_trace, stack_distances
+from repro.cache import mrc_by_simulation, mrc_from_trace
 from repro.core import (
     chain_find,
     count_inversions_fenwick,
@@ -72,5 +72,6 @@ def test_mrc_single_pass_vs_per_size_simulation(benchmark, results_dir):
         assert curve[c] == pytest.approx(ratio)
     rows = [{"cache_size": c, "miss_ratio": curve[c]} for c in (1, 16, 64, 256, 512)]
     print()
-    print(format_table(rows, title="Single-pass MRC of a 20k-access Zipfian trace (validated against per-size simulation)"))
+    title = "Single-pass MRC of a 20k-access Zipfian trace (validated against per-size simulation)"
+    print(format_table(rows, title=title))
     write_csv(results_dir / "scaling_mrc.csv", rows)

@@ -34,6 +34,10 @@ Subpackages
     Approximate MRC profiling at production scale: SHARDS spatial sampling,
     a one-pass streaming reuse-time/AET model, a sharded parallel execution
     engine, and curve-error metrics.
+``repro.sim``
+    The policy-sweep engine: the full ``policies × capacities`` miss-ratio
+    matrix of a trace in one or few passes (single-pass exact LRU grids,
+    lane-vectorised FIFO/random kernels, set-associative fan-out).
 ``repro.ml``
     The Section VI application layer: permutation-equivariant models and
     Theorem-4 traversal scheduling for their parameter accesses.

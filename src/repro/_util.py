@@ -107,10 +107,7 @@ def check_permutation_array(values: Iterable[int], name: str = "permutation") ->
         return arr
     seen = np.zeros(m, dtype=bool)
     if arr.min() < 0 or arr.max() >= m:
-        raise ValueError(
-            f"{name} must contain each of 0..{m - 1} exactly once; "
-            f"values outside range found"
-        )
+        raise ValueError(f"{name} must contain each of 0..{m - 1} exactly once; " f"values outside range found")
     seen[arr] = True
     if not seen.all():
         raise ValueError(f"{name} must contain each of 0..{m - 1} exactly once")
@@ -129,10 +126,7 @@ def ensure_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
         return np.random.default_rng(int(rng))
     if isinstance(rng, np.random.Generator):
         return rng
-    raise TypeError(
-        "rng must be None, an int seed, or a numpy.random.Generator, "
-        f"got {type(rng).__name__}"
-    )
+    raise TypeError("rng must be None, an int seed, or a numpy.random.Generator, " f"got {type(rng).__name__}")
 
 
 def pairwise_leq(left: Sequence[int], right: Sequence[int]) -> bool:

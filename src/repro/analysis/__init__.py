@@ -10,6 +10,7 @@ from .experiments import (
     run_miss_integral,
     run_ml_schedule,
     run_policy_ablation,
+    run_policy_sweep,
     run_s11_ranked_labeling,
     run_sampling_ablation,
     run_sawtooth_cyclic,
@@ -34,6 +35,7 @@ __all__ = [
     "run_miss_integral",
     "run_ml_schedule",
     "run_policy_ablation",
+    "run_policy_sweep",
     "run_s11_ranked_labeling",
     "run_sampling_ablation",
     "run_sawtooth_cyclic",

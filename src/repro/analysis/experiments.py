@@ -34,6 +34,10 @@ run_sampling_ablation
     Extension: accuracy/cost frontier of the approximate MRC profilers
     (SHARDS sampling rates and the streaming reuse-time model) vs. the exact
     curve on a Zipfian trace.
+run_policy_sweep
+    Extension: the full policy × capacity miss-ratio matrix of a Zipfian
+    trace via the single-pass sweep engine (:mod:`repro.sim`), one row per
+    capacity with a column per policy.
 """
 
 from __future__ import annotations
@@ -87,6 +91,7 @@ __all__ = [
     "run_mahonian_partitions",
     "run_miss_integral",
     "run_policy_ablation",
+    "run_policy_sweep",
     "run_feasibility_ablation",
     "run_ml_schedule",
     "run_sampling_ablation",
@@ -96,9 +101,7 @@ __all__ = [
 # --------------------------------------------------------------------------- #
 # Figure 1
 # --------------------------------------------------------------------------- #
-def run_fig1_mrc_by_inversion(
-    m: int = 5, *, convention: str = "full", max_cache_size: int | None = None
-) -> dict:
+def run_fig1_mrc_by_inversion(m: int = 5, *, convention: str = "full", max_cache_size: int | None = None) -> dict:
     """Average miss-ratio curve for each inversion number of ``S_m`` (Figure 1).
 
     Enumerates all ``m!`` permutations, groups them by inversion number and
@@ -204,9 +207,7 @@ def run_sawtooth_cyclic(sizes: Sequence[int] = (4, 8, 16, 64, 256)) -> list[dict
     return rows
 
 
-def run_theorem2_random(
-    sizes: Sequence[int] = (16, 64, 256, 1024, 2048), *, trials: int = 5, rng=0
-) -> list[dict]:
+def run_theorem2_random(sizes: Sequence[int] = (16, 64, 256, 1024, 2048), *, trials: int = 5, rng=0) -> list[dict]:
     """Theorem 2 / Corollary 1 checks on random permutations of large ``m``."""
     generator = ensure_rng(rng)
     rows = []
@@ -249,9 +250,7 @@ def run_mahonian_partitions(m: int = 6) -> dict:
     per_level = []
     for level in range(max_inversions(m) + 1):
         counts = partition_counts_at_level(m, level)
-        feasible_partitions = {
-            p for p in integer_partitions(level, max_part=m - 1, max_parts=m)
-        }
+        feasible_partitions = {p for p in integer_partitions(level, max_part=m - 1, max_parts=m)}
         per_level.append(
             {
                 "inversions": level,
@@ -449,6 +448,65 @@ def run_sampling_ablation(
         }
     )
     return rows
+
+
+def run_policy_sweep(
+    length: int = 60_000,
+    footprint: int = 4096,
+    *,
+    exponent: float = 0.9,
+    capacities: Sequence[int] | None = None,
+    ways: int = 4,
+    workers: int = 1,
+    rng: int = 7,
+) -> dict:
+    """Policy × capacity miss-ratio matrix of a Zipfian trace via the sweep engine.
+
+    All four policies are evaluated over a power-of-two capacity grid
+    (multiples of ``ways`` so the set-associative policy realises every
+    point) in a handful of trace passes.  Returns one row per capacity with a
+    miss-ratio column per policy, plus the per-policy kernel seconds —
+    the multi-scenario comparison that naive per-configuration replay makes
+    quadratically expensive.
+    """
+    from ..sim.sweep import SweepJob, run_sweep
+    from ..trace.generators import zipfian_trace
+
+    trace = zipfian_trace(length, footprint, exponent=exponent, rng=rng).accesses
+    if capacities is None:
+        grid = []
+        size = ways
+        while size <= footprint:
+            grid.append(size)
+            size *= 2
+        capacities = grid
+    job = SweepJob(
+        trace=trace,
+        name=f"zipf(s={exponent})",
+        policies=("lru", "fifo", "random", "set-associative"),
+        capacities=tuple(int(c) for c in capacities),
+        ways=ways,
+        seed=int(rng),
+    )
+    result = run_sweep(job, workers=workers)
+
+    columns = {sweep.policy: dict(zip(sweep.capacities, sweep.miss_ratios)) for sweep in result.sweeps}
+    rows = []
+    for capacity in result["lru"].capacities:
+        row = {"capacity": capacity}
+        for policy in job.policies:
+            key = policy.replace("-", "_")
+            value = columns.get(policy, {}).get(capacity)
+            row[key] = float(value) if value is not None else None
+        rows.append(row)
+    return {
+        "length": length,
+        "footprint": footprint,
+        "exponent": exponent,
+        "ways": ways,
+        "rows": rows,
+        "kernel_seconds": {sweep.policy: sweep.seconds for sweep in result.sweeps},
+    }
 
 
 def run_ml_schedule(

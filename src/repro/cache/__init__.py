@@ -27,6 +27,7 @@ from .stack_distance import (
     stack_distance_histogram,
     stack_distances,
     stack_distances_naive,
+    stack_distances_vectorized,
 )
 
 __all__ = [
@@ -55,4 +56,5 @@ __all__ = [
     "stack_distance_histogram",
     "stack_distances",
     "stack_distances_naive",
+    "stack_distances_vectorized",
 ]

@@ -126,9 +126,7 @@ def footprint(trace: Sequence[int] | np.ndarray, window: int) -> float:
     return float(curve[index])
 
 
-def miss_ratio_from_footprint(
-    trace: Sequence[int] | np.ndarray, cache_size: int
-) -> float:
+def miss_ratio_from_footprint(trace: Sequence[int] | np.ndarray, cache_size: int) -> float:
     """Estimate the LRU miss ratio at ``cache_size`` from the footprint curve.
 
     Xiang's conversion: find the window length ``w`` whose average footprint

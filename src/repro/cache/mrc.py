@@ -77,9 +77,7 @@ class MissRatioCurve:
         return len(self.ratios) - at_or_below + 1
 
 
-def mrc_from_trace(
-    trace: Sequence[int] | np.ndarray, *, max_cache_size: int | None = None
-) -> MissRatioCurve:
+def mrc_from_trace(trace: Sequence[int] | np.ndarray, *, max_cache_size: int | None = None) -> MissRatioCurve:
     """Exact LRU miss-ratio curve of a trace from its stack-distance histogram."""
     arr = np.asarray(trace)
     if arr.size == 0:
@@ -89,9 +87,7 @@ def mrc_from_trace(
     return MissRatioCurve(ratios=tuple(float(x) for x in ratios), accesses=int(arr.size))
 
 
-def mrc_by_simulation(
-    trace: Sequence[int] | np.ndarray, cache_sizes: Iterable[int]
-) -> dict[int, float]:
+def mrc_by_simulation(trace: Sequence[int] | np.ndarray, cache_sizes: Iterable[int]) -> dict[int, float]:
     """Miss ratios measured by running an independent LRU simulation per cache size.
 
     Quadratically slower than :func:`mrc_from_trace`; intended for validation
@@ -114,10 +110,7 @@ def average_curves(curves: Sequence[MissRatioCurve] | Sequence[Sequence[float]])
     """
     if not curves:
         raise ValueError("need at least one curve to average")
-    arrays = [
-        c.as_array() if isinstance(c, MissRatioCurve) else np.asarray(c, dtype=np.float64)
-        for c in curves
-    ]
+    arrays = [c.as_array() if isinstance(c, MissRatioCurve) else np.asarray(c, dtype=np.float64) for c in curves]
     length = arrays[0].size
     if any(a.size != length for a in arrays):
         raise ValueError("all curves must have the same length")

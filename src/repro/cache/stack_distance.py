@@ -14,6 +14,14 @@ periodic special case can be cross-validated:
   tree over access times marks the *last* access of every item, so the number
   of distinct items touched since the previous access of the current item is a
   suffix sum — ``O(N log N)`` overall.
+* :func:`stack_distances_vectorized` — the same exact distances without a
+  per-access Python loop: each reuse pair becomes an *arc* ``(j, next(j))``,
+  the distance is ``next(j) - j`` minus the number of arcs strictly nested
+  inside, and nested-arc counting is "count smaller elements to the right"
+  of the arc-end sequence — computed by a level-by-level vectorised merge
+  sort (``O(N log^2 N)`` NumPy work, no Python-level per-access steps).  This
+  is the fast path behind :func:`stack_distance_histogram` and the
+  single-pass LRU capacity sweep in :mod:`repro.sim`.
 * :func:`stack_distance_histogram` and :func:`hit_counts` — aggregate forms
   used by the miss-ratio-curve construction in :mod:`repro.cache.mrc`.
 
@@ -37,6 +45,7 @@ __all__ = [
     "reuse_intervals",
     "stack_distances_naive",
     "stack_distances",
+    "stack_distances_vectorized",
     "stack_distance_histogram",
     "hit_counts",
 ]
@@ -123,6 +132,83 @@ def stack_distances(trace: Sequence[int] | np.ndarray) -> np.ndarray:
     return out
 
 
+def _count_smaller_right(values: np.ndarray) -> np.ndarray:
+    """For each element, the number of *strictly smaller* elements to its right.
+
+    Vectorised bottom-up merge sort: at every level the array is reshaped into
+    pair-blocks whose halves are already sorted, one ``argsort`` per level
+    merges all blocks at once, and a row-wise cumulative sum of the
+    "came from the right half" indicator yields, for every left-half element,
+    how many right-half elements precede it in sorted order — exactly its
+    smaller-to-the-right contribution at this level.  Requires distinct
+    values (callers pass arc-end positions, which are unique); the array is
+    padded to a power of two with ``int64`` max sentinels that sort last.
+    """
+    n = values.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    size = 1
+    while size < n:
+        size *= 2
+    vals = np.full(size, np.iinfo(np.int64).max, dtype=np.int64)
+    vals[:n] = values
+    origin = np.arange(size)
+    counts = np.zeros(size, dtype=np.int64)
+    width = 1
+    while width < size:
+        pair = 2 * width
+        block_vals = vals.reshape(-1, pair)
+        block_origin = origin.reshape(-1, pair)
+        order = np.argsort(block_vals, axis=1, kind="stable")
+        sorted_vals = np.take_along_axis(block_vals, order, axis=1)
+        sorted_origin = np.take_along_axis(block_origin, order, axis=1)
+        from_right = order >= width
+        right_before = np.cumsum(from_right, axis=1) - from_right
+        left = ~from_right
+        counts[sorted_origin[left]] += right_before[left]
+        vals = sorted_vals.reshape(-1)
+        origin = sorted_origin.reshape(-1)
+        width = pair
+    return counts[:n]
+
+
+def stack_distances_vectorized(trace: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Exact LRU stack distances with no per-access Python loop.
+
+    Identity: write each reuse as an *arc* from a position to the next access
+    of the same item.  For the access closing arc ``(p, t)`` the stack
+    distance is ``1 +`` the number of distinct items in ``(p, t)``; a position
+    ``j`` in that window contributes a distinct item iff its own next access
+    falls at or after ``t``, so the non-contributing positions are exactly the
+    arcs strictly nested inside ``(p, t)`` and
+
+    ``distance(t) = t - p - #{arcs (j, next(j)) : p < j, next(j) < t}``.
+
+    Arc starts are increasing, so the nested count per arc is "count smaller
+    elements to the right" over the arc-end sequence.  Bit-identical to
+    :func:`stack_distances` (cross-validated in the test-suite).
+    """
+    arr = _as_trace(trace)
+    n = arr.size
+    out = np.full(n, COLD, dtype=np.int64)
+    if n == 0:
+        return out
+    # Adjacent equal items after a stable sort are consecutive accesses.
+    order = np.argsort(arr, kind="stable")
+    sorted_items = arr[order]
+    same = sorted_items[1:] == sorted_items[:-1]
+    starts = order[:-1][same]
+    ends = order[1:][same]
+    if starts.size == 0:
+        return out
+    by_start = np.argsort(starts)
+    arc_start = starts[by_start]
+    arc_end = ends[by_start]
+    nested = _count_smaller_right(arc_end)
+    out[arc_end] = arc_end - arc_start - nested
+    return out
+
+
 def stack_distance_histogram(
     trace: Sequence[int] | np.ndarray, *, max_distance: int | None = None
 ) -> tuple[np.ndarray, int]:
@@ -130,10 +216,11 @@ def stack_distance_histogram(
 
     Returns ``(hist, cold)`` where ``hist[d - 1]`` counts accesses at stack
     distance ``d`` (1-based, up to ``max_distance`` or the number of distinct
-    items) and ``cold`` counts first-ever accesses.
+    items) and ``cold`` counts first-ever accesses.  Uses the vectorised
+    distance pass, so histogram construction never loops per access.
     """
     arr = _as_trace(trace)
-    distances = stack_distances(arr)
+    distances = stack_distances_vectorized(arr)
     finite = distances[distances != COLD]
     cold = int(arr.size - finite.size)
     limit = int(max_distance) if max_distance is not None else (int(finite.max()) if finite.size else 0)

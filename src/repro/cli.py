@@ -1,6 +1,7 @@
 """Command-line interface.
 
-Installed as ``python -m repro``; six subcommands cover the common workflows:
+Installed as ``python -m repro`` (or the ``repro`` console script); seven
+subcommands cover the common workflows:
 
 ``analyze``
     Reuse statistics, locality score and sampled miss ratios of a trace file.
@@ -15,6 +16,13 @@ Installed as ``python -m repro``; six subcommands cover the common workflows:
     traces — or the chunks of one long trace in ``reuse`` mode — across
     processes, and ``--compare-exact`` reports the error and speedup against
     the exact curve.
+``sweep``
+    Evaluate many cache configurations over one trace via the
+    :mod:`repro.sim` policy-sweep engine: ``--policies`` crossed with a
+    ``--capacities`` grid in one (or few) passes — the whole LRU grid from a
+    single stack-distance pass, FIFO/random lane-vectorised, set-associative
+    fanned per capacity — with ``--workers`` spreading kernel tasks across
+    processes without changing any result.
 ``chain``
     Run ChainFind on ``S_m`` with a chosen labeling and print the tie
     statistics (the Figure 2 measurement for a single size).
@@ -35,6 +43,8 @@ Examples
     python -m repro generate zipf --length 1000000 --items 65536 -o big.trace
     python -m repro profile big.trace --mode shards --rate 0.01
     python -m repro profile big.trace --mode reuse --workers 4 --csv big_mrc.csv
+    python -m repro sweep big.trace --policies lru,fifo,random --capacities pow2
+    python -m repro sweep big.trace --policies lru --capacities 64:4096:64 --csv sweep.csv
     python -m repro chain 8 --labeling miss-ratio
     python -m repro experiment fig1
     python -m repro experiment sampling
@@ -76,10 +86,7 @@ def _cmd_mrc(args: argparse.Namespace) -> int:
 
     trace = read_text(args.trace_file)
     curve = mrc_from_trace(trace.accesses, max_cache_size=args.max_size)
-    rows = [
-        {"cache_size": c + 1, "miss_ratio": ratio}
-        for c, ratio in enumerate(curve.ratios)
-    ]
+    rows = [{"cache_size": c + 1, "miss_ratio": ratio} for c, ratio in enumerate(curve.ratios)]
     if args.csv:
         path = write_csv(args.csv, rows)
         print(f"wrote {len(rows)} rows to {path}")
@@ -145,12 +152,86 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     if args.csv:
         curve = results[0].curve
-        curve_rows = [
-            {"cache_size": c + 1, "miss_ratio": ratio}
-            for c, ratio in enumerate(curve.ratios)
-        ]
+        curve_rows = [{"cache_size": c + 1, "miss_ratio": ratio} for c, ratio in enumerate(curve.ratios)]
         path = write_csv(args.csv, curve_rows)
         print(f"wrote {len(curve_rows)} rows to {path}")
+    return 0
+
+
+def parse_capacities(spec: str, footprint: int) -> tuple[int, ...]:
+    """Parse a ``--capacities`` grid specification.
+
+    The spec is a comma-separated list of elements, each one of:
+
+    * an integer — that single capacity;
+    * ``lo:hi`` or ``lo:hi:step`` — an inclusive arithmetic range;
+    * ``pow2`` — every power of two up to the trace footprint.
+
+    The union is deduplicated and sorted.
+    """
+    capacities: set[int] = set()
+    for element in spec.split(","):
+        element = element.strip()
+        if not element:
+            continue
+        if element == "pow2":
+            size = 1
+            while size <= max(footprint, 1):
+                capacities.add(size)
+                size *= 2
+        elif ":" in element:
+            parts = element.split(":")
+            if len(parts) not in (2, 3):
+                raise ValueError(f"bad capacity range {element!r}; expected lo:hi or lo:hi:step")
+            lo, hi = int(parts[0]), int(parts[1])
+            step = int(parts[2]) if len(parts) == 3 else 1
+            if step < 1:
+                raise ValueError(f"capacity range step must be >= 1, got {step}")
+            capacities.update(range(lo, hi + 1, step))
+        else:
+            capacities.add(int(element))
+    if not capacities:
+        raise ValueError(f"capacity spec {spec!r} produced an empty grid")
+    return tuple(sorted(capacities))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table, write_csv
+    from .sim.sweep import SweepJob, run_sweep
+    from .trace.io import read_text
+
+    trace = read_text(args.trace_file)
+    try:
+        capacities = parse_capacities(args.capacities, trace.footprint)
+        job = SweepJob(
+            trace=trace.accesses,
+            name=trace.name,
+            policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
+            capacities=capacities,
+            ways=args.ways,
+            seed=args.seed,
+        )
+        result = run_sweep(job, workers=args.workers)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    rows = result.rows()
+    if args.csv:
+        path = write_csv(args.csv, rows)
+        print(f"wrote {len(rows)} rows to {path}")
+    else:
+        print(
+            format_table(
+                rows,
+                title=f"policy sweep — {result.name} ({result.accesses} accesses, {result.footprint} items)",
+            )
+        )
+    timing = [
+        {"policy": sweep.policy, "capacities": len(sweep.capacities), "kernel_seconds": round(sweep.seconds, 4)}
+        for sweep in result.sweeps
+    ]
+    print(format_table(timing, title="kernel compute time per policy"))
     return 0
 
 
@@ -204,6 +285,7 @@ _EXPERIMENTS = {
     "mahonian": ("run_mahonian_partitions", {}),
     "miss-integral": ("run_miss_integral", {}),
     "policy-ablation": ("run_policy_ablation", {}),
+    "policy-sweep": ("run_policy_sweep", {}),
     "feasibility": ("run_feasibility_ablation", {}),
     "ml-schedule": ("run_ml_schedule", {}),
     "sampling": ("run_sampling_ablation", {}),
@@ -281,9 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     mrc.add_argument("--csv", default=None, help="write the curve to this CSV file instead of printing")
     mrc.set_defaults(func=_cmd_mrc)
 
-    profile = subparsers.add_parser(
-        "profile", help="exact or approximate miss-ratio curve via the profiling engine"
-    )
+    profile = subparsers.add_parser("profile", help="exact or approximate miss-ratio curve via the profiling engine")
     profile.add_argument("trace_files", nargs="+", help="text trace file(s)")
     profile.add_argument(
         "--mode",
@@ -292,13 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="exact pipeline, SHARDS sampling, or one-pass reuse-time (AET) model",
     )
     profile.add_argument("--rate", type=float, default=0.01, help="SHARDS sampling rate R")
-    profile.add_argument(
-        "--smax", type=int, default=None, help="fixed-size SHARDS: max distinct sampled items"
-    )
+    profile.add_argument("--smax", type=int, default=None, help="fixed-size SHARDS: max distinct sampled items")
     profile.add_argument("--seed", type=int, default=0, help="base hash seed for sampling")
-    profile.add_argument(
-        "--seeds", type=int, default=2, help="number of pooled SHARDS hash functions"
-    )
+    profile.add_argument("--seeds", type=int, default=2, help="number of pooled SHARDS hash functions")
     profile.add_argument(
         "--workers",
         type=int,
@@ -306,15 +382,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="process pool size (batch of traces, or chunks of one trace in reuse mode)",
     )
     profile.add_argument("--max-size", type=int, default=None, help="largest cache size to report")
-    profile.add_argument(
-        "--csv", default=None, help="write the curve to this CSV file (single trace only)"
-    )
+    profile.add_argument("--csv", default=None, help="write the curve to this CSV file (single trace only)")
     profile.add_argument(
         "--compare-exact",
         action="store_true",
         help="also compute the exact curve and report error and speedup",
     )
     profile.set_defaults(func=_cmd_profile)
+
+    sweep = subparsers.add_parser("sweep", help="miss ratios of many policies x capacities via the sweep engine")
+    sweep.add_argument("trace_file", help="text trace file (one item label per line)")
+    sweep.add_argument(
+        "--policies",
+        default="lru,fifo",
+        help="comma-separated replacement policies: lru, fifo, random, set-associative",
+    )
+    sweep.add_argument(
+        "--capacities",
+        default="pow2",
+        help="capacity grid: comma list of ints, lo:hi[:step] ranges, or pow2 (default)",
+    )
+    sweep.add_argument("--ways", type=int, default=4, help="associativity of the set-associative policy")
+    sweep.add_argument("--seed", type=int, default=0, help="seed of the random-replacement policy")
+    sweep.add_argument("--workers", type=int, default=1, help="process pool size (never changes the results)")
+    sweep.add_argument("--csv", default=None, help="write the sweep rows to this CSV file")
+    sweep.set_defaults(func=_cmd_sweep)
 
     chain = subparsers.add_parser("chain", help="run ChainFind on S_m")
     chain.add_argument("m", type=int, help="number of data items")
@@ -332,9 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.set_defaults(func=_cmd_experiment)
 
     generate = subparsers.add_parser("generate", help="write a synthetic trace file")
-    generate.add_argument(
-        "kind", choices=["cyclic", "sawtooth", "random-retraversal", "zipf", "stream"]
-    )
+    generate.add_argument("kind", choices=["cyclic", "sawtooth", "random-retraversal", "zipf", "stream"])
     generate.add_argument("--items", type=int, default=64, help="number of distinct items")
     generate.add_argument("--length", type=int, default=4096, help="trace length (zipf only)")
     generate.add_argument("--exponent", type=float, default=1.0, help="zipf exponent")

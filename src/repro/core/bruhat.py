@@ -47,9 +47,7 @@ def bruhat_leq(sigma: Permutation, tau: Permutation) -> bool:
     is enumerated at.
     """
     if sigma.size != tau.size:
-        raise ValueError(
-            f"permutations act on different sizes ({sigma.size} vs {tau.size})"
-        )
+        raise ValueError(f"permutations act on different sizes ({sigma.size} vs {tau.size})")
     m = sigma.size
     if m == 0:
         return True
@@ -78,9 +76,7 @@ def is_covering(sigma: Permutation, tau: Permutation) -> bool:
     ``sigma(i)`` and ``sigma(j)``.
     """
     if sigma.size != tau.size:
-        raise ValueError(
-            f"permutations act on different sizes ({sigma.size} vs {tau.size})"
-        )
+        raise ValueError(f"permutations act on different sizes ({sigma.size} vs {tau.size})")
     diff = [i for i in range(sigma.size) if sigma[i] != tau[i]]
     if len(diff) != 2:
         return False
@@ -149,9 +145,7 @@ def weak_order_leq(sigma: Permutation, tau: Permutation) -> bool:
     reordering moves (only adjacent accesses may be exchanged).
     """
     if sigma.size != tau.size:
-        raise ValueError(
-            f"permutations act on different sizes ({sigma.size} vs {tau.size})"
-        )
+        raise ValueError(f"permutations act on different sizes ({sigma.size} vs {tau.size})")
 
     def value_inversions(p: Permutation) -> set[tuple[int, int]]:
         inv = p.inverse()

@@ -81,9 +81,7 @@ def rank_sizes(graph: nx.DiGraph) -> dict[int, int]:
 
 def is_graded(graph: nx.DiGraph) -> bool:
     """Check the graded-poset property: every edge increases rank by exactly one."""
-    return all(
-        graph.nodes[v]["rank"] == graph.nodes[u]["rank"] + 1 for u, v in graph.edges
-    )
+    return all(graph.nodes[v]["rank"] == graph.nodes[u]["rank"] + 1 for u, v in graph.edges)
 
 
 def saturated_chains(

@@ -136,12 +136,7 @@ class DependencyDAG:
         if not 0.0 <= edge_probability <= 1.0:
             raise ValueError(f"edge_probability must be in [0, 1], got {edge_probability}")
         generator = ensure_rng(rng)
-        edges = [
-            (u, v)
-            for u in range(size)
-            for v in range(u + 1, size)
-            if generator.random() < edge_probability
-        ]
+        edges = [(u, v) for u in range(size) for v in range(u + 1, size) if generator.random() < edge_probability]
         return cls(size, edges)
 
     # -------------------------------------------------------------- #
@@ -305,9 +300,7 @@ def greedy_feasible_extension(dag: DependencyDAG) -> Permutation:
     preds = dag.predecessors()
     remaining_pred_counts = [len(p) for p in preds]
     succs = dag.successors()
-    available = sorted(
-        (v for v in range(m) if remaining_pred_counts[v] == 0), reverse=True
-    )
+    available = sorted((v for v in range(m) if remaining_pred_counts[v] == 0), reverse=True)
     order: list[int] = []
     import heapq
 
@@ -350,9 +343,7 @@ def count_linear_extensions(dag: DependencyDAG) -> int:
     return int(counts[(1 << m) - 1])
 
 
-def random_linear_extension(
-    dag: DependencyDAG, rng: np.random.Generator | int | None = None
-) -> Permutation:
+def random_linear_extension(dag: DependencyDAG, rng: np.random.Generator | int | None = None) -> Permutation:
     """A random feasible re-ordering (not exactly uniform; each step picks uniformly among available items)."""
     generator = ensure_rng(rng)
     m = dag.size

@@ -108,9 +108,7 @@ class RankedMissRatioLabeling(EdgeLabeling):
     def label(self, sigma: Permutation, tau: Permutation) -> tuple:
         vec = cache_hit_vector(tau)
         if vec.size != self.psi.size:
-            raise ValueError(
-                f"psi acts on {self.psi.size} cache sizes but the trace has {vec.size}"
-            )
+            raise ValueError(f"psi acts on {self.psi.size} cache sizes but the trace has {vec.size}")
         return tuple(int(vec[self.psi(k)]) for k in range(self.psi.size))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -205,9 +203,7 @@ def chain_labels_nondecreasing(labeling: EdgeLabeling, chain: Sequence[Permutati
     return all(labels[k] <= labels[k + 1] for k in range(len(labels) - 1))
 
 
-def count_nondecreasing_chains(
-    labeling: EdgeLabeling, start: Permutation, end: Permutation
-) -> int:
+def count_nondecreasing_chains(labeling: EdgeLabeling, start: Permutation, end: Permutation) -> int:
     """Count saturated chains from ``start`` to ``end`` whose labels never decrease.
 
     An EL-labeling requires this count to be exactly one for every interval.

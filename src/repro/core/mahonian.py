@@ -146,9 +146,7 @@ def _randint_below(generator: np.random.Generator, n: int) -> int:
             return value
 
 
-def random_permutation_with_inversions(
-    m: int, n: int, rng: np.random.Generator | int | None = None
-) -> Permutation:
+def random_permutation_with_inversions(m: int, n: int, rng: np.random.Generator | int | None = None) -> Permutation:
     """Draw a uniformly random permutation of ``S_m`` with exactly ``n`` inversions.
 
     Samples the Lehmer code left to right; the conditional weight of choosing
@@ -190,7 +188,9 @@ def random_permutation_with_inversions(
 # --------------------------------------------------------------------------- #
 # Hit vectors as integer partitions
 # --------------------------------------------------------------------------- #
-def integer_partitions(n: int, *, max_part: int | None = None, max_parts: int | None = None) -> Iterator[tuple[int, ...]]:
+def integer_partitions(
+    n: int, *, max_part: int | None = None, max_parts: int | None = None
+) -> Iterator[tuple[int, ...]]:
     """Yield the integer partitions of ``n`` in decreasing-part canonical form.
 
     Optional bounds restrict the largest part and the number of parts, which is

@@ -231,9 +231,7 @@ class Permutation:
         if not isinstance(other, Permutation):
             return NotImplemented
         if self.size != other.size:
-            raise ValueError(
-                f"cannot compose permutations of different sizes ({self.size} vs {other.size})"
-            )
+            raise ValueError(f"cannot compose permutations of different sizes ({self.size} vs {other.size})")
         return Permutation(tuple(self._map[other._map[i]] for i in range(self.size)))
 
     def inverse(self) -> "Permutation":
@@ -304,9 +302,7 @@ class Permutation:
 
     def cycle_type(self) -> tuple[int, ...]:
         """Cycle lengths (including fixed points) sorted in decreasing order."""
-        lengths = sorted(
-            (len(c) for c in self.cycles(include_fixed_points=True)), reverse=True
-        )
+        lengths = sorted((len(c) for c in self.cycles(include_fixed_points=True)), reverse=True)
         return tuple(lengths)
 
     def descents(self) -> list[int]:
@@ -327,12 +323,7 @@ class Permutation:
     def inversion_pairs(self) -> list[tuple[int, int]]:
         """All pairs ``(i, j)`` with ``i < j`` and ``sigma(i) > sigma(j)``."""
         m = self.size
-        return [
-            (i, j)
-            for i in range(m)
-            for j in range(i + 1, m)
-            if self._map[i] > self._map[j]
-        ]
+        return [(i, j) for i in range(m) for j in range(i + 1, m) if self._map[i] > self._map[j]]
 
     def lehmer_code(self) -> tuple[int, ...]:
         """The Lehmer code: ``code[i] = #{j > i : sigma(j) < sigma(i)}``."""
@@ -370,9 +361,7 @@ class Permutation:
         other sequences are returned as lists.
         """
         if len(sequence) != self.size:
-            raise ValueError(
-                f"sequence length {len(sequence)} does not match permutation size {self.size}"
-            )
+            raise ValueError(f"sequence length {len(sequence)} does not match permutation size {self.size}")
         if isinstance(sequence, np.ndarray):
             return sequence[np.asarray(self._map, dtype=np.intp)]
         return [sequence[v] for v in self._map]

@@ -66,10 +66,7 @@ class TracedAttention:
         self.w_k = generator.standard_normal((num_heads, d_model, self.head_dim)) * scale
         self.w_v = generator.standard_normal((num_heads, d_model, self.head_dim)) * scale
         self.w_o = generator.standard_normal((num_heads, self.head_dim, d_model)) * scale
-        specs = [
-            TensorSpec(f"head{h}", (4, d_model, self.head_dim), granularity)
-            for h in range(num_heads)
-        ]
+        specs = [TensorSpec(f"head{h}", (4, d_model, self.head_dim), granularity) for h in range(num_heads)]
         self.layout = TensorLayout(specs)
 
     # ------------------------------------------------------------------ #

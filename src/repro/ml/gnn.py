@@ -60,9 +60,7 @@ class RandomGraph:
         old_of_new = np.asarray(order.one_line, dtype=np.intp)
         new_of_old = np.empty_like(old_of_new)
         new_of_old[old_of_new] = np.arange(self.num_nodes, dtype=np.intp)
-        new.neighbors = [
-            np.sort(new_of_old[self.neighbors[old_of_new[i]]]) for i in range(self.num_nodes)
-        ]
+        new.neighbors = [np.sort(new_of_old[self.neighbors[old_of_new[i]]]) for i in range(self.num_nodes)]
         return new
 
 

@@ -90,15 +90,11 @@ class TracedMLP:
         if block_order is None:
             return base
         if block_order.size != base.size:
-            raise ValueError(
-                f"block_order acts on {block_order.size} items, model has {base.size}"
-            )
+            raise ValueError(f"block_order acts on {block_order.size} items, model has {base.size}")
         return base[np.asarray(block_order.one_line, dtype=np.intp)]
 
     # ------------------------------------------------------------------ #
-    def forward(
-        self, x: np.ndarray, *, block_order: Permutation | None = None
-    ) -> MLPPassRecord:
+    def forward(self, x: np.ndarray, *, block_order: Permutation | None = None) -> MLPPassRecord:
         """Run the forward pass and record the weight blocks it reads.
 
         ``block_order`` changes only the *order* in which weight blocks are
@@ -194,9 +190,7 @@ class TracedMLP:
         Only interior layers can be permuted.
         """
         if not 0 <= layer < len(self.weights) - 1:
-            raise ValueError(
-                f"layer must be an interior layer index in [0, {len(self.weights) - 2}], got {layer}"
-            )
+            raise ValueError(f"layer must be an interior layer index in [0, {len(self.weights) - 2}], got {layer}")
         if sigma.size != self.weights[layer].shape[1]:
             raise ValueError(
                 f"permutation size {sigma.size} does not match hidden width {self.weights[layer].shape[1]}"

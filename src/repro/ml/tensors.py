@@ -77,13 +77,9 @@ class TensorLayout:
         self.total_items = base
 
     @classmethod
-    def from_shapes(
-        cls, shapes: Mapping[str, Sequence[int]], *, granularity: int = 1
-    ) -> "TensorLayout":
+    def from_shapes(cls, shapes: Mapping[str, Sequence[int]], *, granularity: int = 1) -> "TensorLayout":
         """Build a layout from a ``{name: shape}`` mapping with uniform granularity."""
-        return cls(
-            [TensorSpec(name, tuple(int(d) for d in shape), granularity) for name, shape in shapes.items()]
-        )
+        return cls([TensorSpec(name, tuple(int(d) for d in shape), granularity) for name, shape in shapes.items()])
 
     def spec(self, name: str) -> TensorSpec:
         """The :class:`TensorSpec` of a named tensor."""

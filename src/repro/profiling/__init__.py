@@ -19,6 +19,9 @@ accuracy for orders-of-magnitude cost reductions:
 :mod:`repro.profiling.accuracy`
     Mean/max absolute-error comparison of approximate vs. exact curves, used
     by the tests and benchmarks to assert error bounds.
+:mod:`repro.profiling.pool`
+    The shared fork-first process-pool helpers used by both this engine and
+    the policy-sweep engine in :mod:`repro.sim`.
 """
 
 from .accuracy import CurveComparison, compare_curves, curve_values, mean_absolute_error
@@ -33,6 +36,7 @@ from .engine import (
     run_job,
     run_jobs,
 )
+from .pool import check_workers, fork_available, fork_pool, pool_map
 from .reuse import ReuseTimeHistogram, ReuseTimeProfiler, reuse_mrc
 from .shards import (
     HASH_SPACE,
@@ -57,6 +61,10 @@ __all__ = [
     "parallel_reuse_mrc",
     "run_job",
     "run_jobs",
+    "check_workers",
+    "fork_available",
+    "fork_pool",
+    "pool_map",
     "ReuseTimeHistogram",
     "ReuseTimeProfiler",
     "reuse_mrc",

@@ -34,9 +34,7 @@ def curve_values(curve: MissRatioCurve, max_cache_size: int) -> np.ndarray:
     ratios = curve.as_array()
     if ratios.size >= max_cache_size:
         return ratios[:max_cache_size]
-    return np.concatenate(
-        [ratios, np.full(max_cache_size - ratios.size, ratios[-1])]
-    )
+    return np.concatenate([ratios, np.full(max_cache_size - ratios.size, ratios[-1])])
 
 
 @dataclass(frozen=True)
@@ -59,11 +57,7 @@ def compare_curves(
     By default the comparison spans ``1 .. max(len(approx), len(exact))`` so
     neither curve's tail escapes measurement.
     """
-    limit = (
-        int(max_cache_size)
-        if max_cache_size is not None
-        else max(approx.max_cache_size, exact.max_cache_size)
-    )
+    limit = int(max_cache_size) if max_cache_size is not None else max(approx.max_cache_size, exact.max_cache_size)
     a = curve_values(approx, limit)
     b = curve_values(exact, limit)
     diff = np.abs(a - b)
@@ -81,6 +75,4 @@ def mean_absolute_error(
     max_cache_size: int | None = None,
 ) -> float:
     """Mean absolute miss-ratio difference over the compared cache sizes."""
-    return compare_curves(
-        approx, exact, max_cache_size=max_cache_size
-    ).mean_absolute_error
+    return compare_curves(approx, exact, max_cache_size=max_cache_size).mean_absolute_error

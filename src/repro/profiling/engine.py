@@ -26,7 +26,6 @@ performance knob.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,6 +33,7 @@ from pathlib import Path
 import numpy as np
 
 from ..cache.mrc import MissRatioCurve, mrc_from_trace
+from .pool import check_workers, pool_map
 from .reuse import ReuseTimeHistogram
 from .shards import shards_mrc
 
@@ -122,17 +122,7 @@ def run_job(job: ProfileJob) -> ProfileResult:
         )
         curve = histogram.to_mrc(job.max_cache_size or max(histogram.cold, 1))
     seconds = time.perf_counter() - start
-    return ProfileResult(
-        name=job.name, mode=job.mode, curve=curve, accesses=int(arr.size), seconds=seconds
-    )
-
-
-def _pool(workers: int):
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platforms without fork
-        context = multiprocessing.get_context()
-    return context.Pool(processes=workers)
+    return ProfileResult(name=job.name, mode=job.mode, curve=curve, accesses=int(arr.size), seconds=seconds)
 
 
 def run_jobs(jobs: list[ProfileJob], *, workers: int = 1) -> list[ProfileResult]:
@@ -142,8 +132,7 @@ def run_jobs(jobs: list[ProfileJob], *, workers: int = 1) -> list[ProfileResult]
     single ``reuse``-mode job with ``workers > 1`` is sharded *within* the
     trace (parallel chunk partials) instead of occupying one worker.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = check_workers(workers)
     if len(jobs) == 1 and workers > 1 and jobs[0].mode == "reuse":
         job = jobs[0]
         arr = _load(job)
@@ -165,10 +154,7 @@ def run_jobs(jobs: list[ProfileJob], *, workers: int = 1) -> list[ProfileResult]
                 seconds=seconds,
             )
         ]
-    if workers == 1 or len(jobs) <= 1:
-        return [run_job(job) for job in jobs]
-    with _pool(min(workers, len(jobs))) as pool:
-        return pool.map(run_job, jobs)
+    return pool_map(run_job, jobs, workers=workers)
 
 
 # --------------------------------------------------------------------------- #
@@ -200,9 +186,7 @@ def chunk_partial(
 ) -> ChunkPartial:
     """Profile one chunk independently of every other chunk (vectorised)."""
     arr = np.asarray(chunk, dtype=np.int64)
-    histogram = ReuseTimeHistogram(
-        fine_limit=fine_limit, coarse_per_octave=coarse_per_octave
-    )
+    histogram = ReuseTimeHistogram(fine_limit=fine_limit, coarse_per_octave=coarse_per_octave)
     n = arr.size
     if n == 0:
         return ChunkPartial(offset=int(offset), length=0, histogram=histogram)
@@ -222,9 +206,7 @@ def chunk_partial(
     last_mask[order[:-1][same]] = False
     last_positions = np.nonzero(last_mask)[0]
     offset = int(offset)
-    first_access = {
-        int(arr[i]): offset + int(i) for i in first_positions
-    }
+    first_access = {int(arr[i]): offset + int(i) for i in first_positions}
     last_access = {int(arr[i]): offset + int(i) for i in last_positions}
     return ChunkPartial(
         offset=offset,
@@ -262,9 +244,7 @@ def merge_partials(partials: list[ChunkPartial]) -> ReuseTimeHistogram:
 
 def _chunk_worker(args: tuple[np.ndarray, int, int, int]) -> ChunkPartial:
     chunk, offset, fine_limit, coarse_per_octave = args
-    return chunk_partial(
-        chunk, offset, fine_limit=fine_limit, coarse_per_octave=coarse_per_octave
-    )
+    return chunk_partial(chunk, offset, fine_limit=fine_limit, coarse_per_octave=coarse_per_octave)
 
 
 def parallel_reuse_histogram(
@@ -280,8 +260,7 @@ def parallel_reuse_histogram(
     The result is independent of ``workers`` and ``chunks`` (bit-identical to
     a single sequential pass); both knobs only change how the work is spread.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    workers = check_workers(workers)
     arr = np.asarray(trace, dtype=np.int64)
     if arr.size == 0:
         raise ValueError("cannot profile an empty trace")
@@ -289,15 +268,8 @@ def parallel_reuse_histogram(
     pieces = min(pieces, arr.size)
     splits = np.array_split(arr, pieces)
     offsets = np.cumsum([0] + [len(s) for s in splits[:-1]])
-    tasks = [
-        (split, int(offset), fine_limit, coarse_per_octave)
-        for split, offset in zip(splits, offsets)
-    ]
-    if workers == 1 or pieces == 1:
-        partials = [_chunk_worker(task) for task in tasks]
-    else:
-        with _pool(min(workers, pieces)) as pool:
-            partials = pool.map(_chunk_worker, tasks)
+    tasks = [(split, int(offset), fine_limit, coarse_per_octave) for split, offset in zip(splits, offsets)]
+    partials = pool_map(_chunk_worker, tasks, workers=workers)
     return merge_partials(partials)
 
 

@@ -1,0 +1,65 @@
+"""Shared multiprocessing utilities for the profiling and sweep engines.
+
+Both :mod:`repro.profiling.engine` and :mod:`repro.sim.sweep` fan independent
+tasks across a process pool.  The helpers here centralise the two conventions
+those engines share:
+
+* **fork first** — the ``fork`` start method lets workers inherit large trace
+  arrays copy-on-write instead of pickling them; platforms without ``fork``
+  fall back to the default start method.
+* **inline when trivial** — ``pool_map`` runs the tasks in the current process
+  when a pool would not help (one worker or at most one task), which keeps
+  single-process runs deterministic, debuggable and free of pool overhead.
+
+``workers`` is always validated the same way: any integer below 1 is an error
+rather than a silent serial fallback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Sequence
+from typing import Any
+
+__all__ = ["check_workers", "fork_available", "fork_pool", "pool_map"]
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method (copy-on-write globals) exists here."""
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return False
+    return True
+
+
+def check_workers(workers: int) -> int:
+    """Validate a worker count (must be a positive integer)."""
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def fork_pool(workers: int):
+    """A ``multiprocessing`` pool using the ``fork`` start method when available."""
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        context = multiprocessing.get_context()
+    return context.Pool(processes=check_workers(workers))
+
+
+def pool_map(function: Callable[[Any], Any], tasks: Sequence[Any], *, workers: int = 1) -> list[Any]:
+    """Map ``function`` over ``tasks``, preserving task order.
+
+    Runs inline (no pool) when ``workers == 1`` or there is at most one task;
+    otherwise fans out over ``min(workers, len(tasks))`` forked processes.
+    ``function`` and every task must be picklable in the pooled case.
+    """
+    workers = check_workers(workers)
+    tasks = list(tasks)
+    if workers == 1 or len(tasks) <= 1:
+        return [function(task) for task in tasks]
+    with fork_pool(min(workers, len(tasks))) as pool:
+        return pool.map(function, tasks)

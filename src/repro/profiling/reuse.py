@@ -73,9 +73,7 @@ class ReuseTimeHistogram:
 
     def __post_init__(self) -> None:
         self.fine_limit = _check_power_of_two(self.fine_limit, "fine_limit")
-        self.coarse_per_octave = _check_power_of_two(
-            self.coarse_per_octave, "coarse_per_octave"
-        )
+        self.coarse_per_octave = _check_power_of_two(self.coarse_per_octave, "coarse_per_octave")
         if self.coarse_per_octave > self.fine_limit:
             raise ValueError(
                 f"coarse_per_octave ({self.coarse_per_octave}) must not exceed "
@@ -158,10 +156,7 @@ class ReuseTimeHistogram:
 
     def merge(self, other: "ReuseTimeHistogram") -> "ReuseTimeHistogram":
         """Add another histogram's counts into this one (in place)."""
-        if (
-            other.fine_limit != self.fine_limit
-            or other.coarse_per_octave != self.coarse_per_octave
-        ):
+        if other.fine_limit != self.fine_limit or other.coarse_per_octave != self.coarse_per_octave:
             raise ValueError("cannot merge histograms with different bucket layouts")
         self._ensure(other.counts.size - 1)
         self.counts[: other.counts.size] += other.counts
@@ -236,9 +231,7 @@ class ReuseTimeProfiler:
     """
 
     def __init__(self, *, fine_limit: int = 4096, coarse_per_octave: int = 256):
-        self.histogram = ReuseTimeHistogram(
-            fine_limit=fine_limit, coarse_per_octave=coarse_per_octave
-        )
+        self.histogram = ReuseTimeHistogram(fine_limit=fine_limit, coarse_per_octave=coarse_per_octave)
         self._last_seen: dict[int, int] = {}
         self._position = 0
 
@@ -281,9 +274,7 @@ class ReuseTimeProfiler:
 
     def mrc(self, max_cache_size: int | None = None) -> MissRatioCurve:
         """The miss-ratio curve of everything consumed so far."""
-        return self.histogram.to_mrc(
-            max_cache_size if max_cache_size is not None else max(self.footprint, 1)
-        )
+        return self.histogram.to_mrc(max_cache_size if max_cache_size is not None else max(self.footprint, 1))
 
 
 def reuse_mrc(
@@ -314,8 +305,6 @@ def reuse_mrc(
         )
         limit = max_cache_size if max_cache_size is not None else max(histogram.cold, 1)
         return histogram.to_mrc(limit)
-    profiler = ReuseTimeProfiler(
-        fine_limit=fine_limit, coarse_per_octave=coarse_per_octave
-    )
+    profiler = ReuseTimeProfiler(fine_limit=fine_limit, coarse_per_octave=coarse_per_octave)
     profiler.feed(trace)
     return profiler.mrc(max_cache_size)

@@ -82,9 +82,7 @@ def spatial_hash(items: Sequence[int] | np.ndarray, seed: int = 0) -> np.ndarray
     return hashed & np.uint64(HASH_SPACE - 1)
 
 
-def sample_trace(
-    trace: Sequence[int] | np.ndarray, rate: float, *, seed: int = 0
-) -> tuple[np.ndarray, float]:
+def sample_trace(trace: Sequence[int] | np.ndarray, rate: float, *, seed: int = 0) -> tuple[np.ndarray, float]:
     """The spatially-sampled sub-trace and the effective sampling rate.
 
     ``rate`` is quantised to the ``HASH_SPACE`` grid; the returned effective
@@ -126,9 +124,7 @@ def adaptive_rate(
     return threshold / HASH_SPACE
 
 
-def scaled_distance_histogram(
-    sub_trace: np.ndarray, effective_rate: float
-) -> tuple[np.ndarray, int, int]:
+def scaled_distance_histogram(sub_trace: np.ndarray, effective_rate: float) -> tuple[np.ndarray, int, int]:
     """Stack-distance histogram of a sub-trace, rescaled to full-trace cache sizes.
 
     Returns ``(hist, cold, sampled)`` where ``hist[c - 1]`` estimates the
@@ -190,11 +186,7 @@ def shards_mrc(
     expected_total = 0.0
     for offset in range(n_seeds):
         sub_seed = seed + offset
-        sub_rate = (
-            adaptive_rate(distinct, smax, seed=sub_seed, assume_distinct=True)
-            if smax is not None
-            else rate
-        )
+        sub_rate = adaptive_rate(distinct, smax, seed=sub_seed, assume_distinct=True) if smax is not None else rate
         sub, effective = sample_trace(arr, sub_rate, seed=sub_seed)
         if sub.size == 0:
             continue
@@ -203,9 +195,7 @@ def shards_mrc(
         sampled_total += sampled
         expected_total += arr.size * effective
     if not histograms:
-        raise ValueError(
-            "sampling produced an empty sub-trace for every seed; increase rate or smax"
-        )
+        raise ValueError("sampling produced an empty sub-trace for every seed; increase rate or smax")
 
     length = max(h.size for h in histograms)
     pooled = np.zeros(length, dtype=np.float64)
@@ -219,9 +209,7 @@ def shards_mrc(
 
     ratios = 1.0 - np.cumsum(pooled) / denominator
     ratios = np.minimum.accumulate(np.clip(ratios, 0.0, 1.0))
-    curve = MissRatioCurve(
-        ratios=tuple(float(x) for x in ratios), accesses=int(arr.size)
-    )
+    curve = MissRatioCurve(ratios=tuple(float(x) for x in ratios), accesses=int(arr.size))
     if max_cache_size is not None:
         from .accuracy import curve_values
 

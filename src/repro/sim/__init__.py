@@ -1,0 +1,48 @@
+"""Policy-sweep simulation engine: many cache configurations per trace pass.
+
+Comparing replacement policies or sizing a cache means asking "what is the
+miss ratio of {LRU, FIFO, random, set-associative} × {capacity grid}" — and
+answering it by replaying the trace once per :class:`~repro.cache.base.CacheModel`
+instance costs ``policies × capacities`` full pure-Python passes.  This
+subsystem collapses that matrix:
+
+:mod:`repro.sim.kernels`
+    Single-pass multi-capacity kernels: the LRU grid from one stack-distance
+    histogram (exact, via stack inclusion), lane-vectorised FIFO and seeded
+    random replacement, and set-partitioned stack-distance passes for
+    set-associative LRU.
+:mod:`repro.sim.sweep`
+    The :class:`~repro.sim.sweep.SweepJob` / :class:`~repro.sim.sweep.SweepResult`
+    API and :func:`~repro.sim.sweep.run_sweep`, which fans kernel tasks across
+    the shared :mod:`repro.profiling.pool` process pool.  Results are
+    bit-identical for every ``workers`` value, including the seeded random
+    policy.
+
+The CLI exposes the engine as ``python -m repro sweep``; the
+``policy-sweep`` experiment and ``benchmarks/test_bench_sweep.py`` build on it.
+"""
+
+from .kernels import (
+    check_capacities,
+    compact_trace,
+    fifo_sweep_hits,
+    lru_sweep_hits,
+    random_sweep_hits,
+    set_associative_sweep_hits,
+)
+from .sweep import POLICIES, PolicySweep, SweepJob, SweepResult, naive_sweep_hits, run_sweep
+
+__all__ = [
+    "check_capacities",
+    "compact_trace",
+    "fifo_sweep_hits",
+    "lru_sweep_hits",
+    "random_sweep_hits",
+    "set_associative_sweep_hits",
+    "POLICIES",
+    "PolicySweep",
+    "SweepJob",
+    "SweepResult",
+    "naive_sweep_hits",
+    "run_sweep",
+]

@@ -1,0 +1,297 @@
+"""Policy-sweep engine: many cache configurations, one (or few) trace passes.
+
+A :class:`SweepJob` names a trace, a set of replacement policies and a grid of
+capacities; :func:`run_sweep` evaluates the full ``policies × capacities``
+matrix and returns a :class:`SweepResult`.  The engine never replays the trace
+once per configuration:
+
+* **LRU** — the entire capacity grid comes from one stack-distance pass
+  (:func:`repro.sim.kernels.lru_sweep_hits`).
+* **FIFO / random** — one lane-vectorised pass simulates every capacity of the
+  policy together; with ``workers > 1`` the capacity grid is partitioned
+  across forked processes (lanes are independent, and the random kernel's
+  shared deviate stream makes the partition invisible to the results).
+* **set-associative** — capacities are independent set-partitioned
+  stack-distance passes, fanned out one capacity per pool task.
+
+The pool plumbing is shared with the profiling engine
+(:mod:`repro.profiling.pool`); ``workers=1`` runs everything inline and is
+always bit-identical to any ``workers > 1`` run with the same job.
+
+Item labels are density-compacted once up front
+(:func:`~repro.sim.kernels.compact_trace`) for the flat-table LRU/FIFO/random
+kernels, whose results are invariant under relabelling; the set-associative
+kernel runs on the *original* labels, because its ``item % num_sets`` mapping
+is not — its results match simulating the user's actual trace.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..profiling.pool import check_workers, fork_available, pool_map
+from .kernels import (
+    check_capacities,
+    compact_trace,
+    fifo_sweep_hits,
+    lru_sweep_hits,
+    random_sweep_hits,
+    set_associative_sweep_hits,
+)
+
+__all__ = ["POLICIES", "SweepJob", "PolicySweep", "SweepResult", "run_sweep", "naive_sweep_hits"]
+
+#: Replacement policies the sweep engine understands.
+POLICIES = ("lru", "fifo", "random", "set-associative")
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """Specification of one policy sweep (picklable, pool-dispatchable).
+
+    Exactly one of ``trace`` (integer array) or ``path`` (text trace file
+    readable by :func:`repro.trace.io.read_text`) must be provided.  The
+    capacity grid is normalised to a sorted tuple of distinct positive
+    integers; for the set-associative policy, capacities that are not
+    multiples of ``ways`` are skipped (that policy's grid keeps only the
+    realisable configurations), and requesting it with a grid containing no
+    realisable capacity at all is an error rather than a silently empty
+    result.
+    """
+
+    trace: np.ndarray | None = None
+    path: str | None = None
+    name: str = "trace"
+    policies: tuple[str, ...] = ("lru",)
+    capacities: tuple[int, ...] = ()
+    ways: int = 4
+    seed: int = 0
+
+    def __post_init__(self):
+        if (self.trace is None) == (self.path is None):
+            raise ValueError("provide exactly one of trace= or path=")
+        policies = tuple(self.policies)
+        unknown = [p for p in policies if p not in POLICIES]
+        if unknown:
+            raise ValueError(f"unknown policies {unknown}; choose from {list(POLICIES)}")
+        if not policies:
+            raise ValueError("need at least one policy to sweep")
+        caps = check_capacities(np.asarray(self.capacities))
+        normalised = tuple(int(c) for c in np.unique(caps))
+        if int(self.ways) < 1:
+            raise ValueError(f"ways must be >= 1, got {self.ways}")
+        if "set-associative" in policies and not any(c % int(self.ways) == 0 for c in normalised):
+            raise ValueError(
+                f"set-associative sweep needs at least one capacity that is a "
+                f"multiple of ways={int(self.ways)}; got {list(normalised)}"
+            )
+        object.__setattr__(self, "policies", policies)
+        object.__setattr__(self, "capacities", normalised)
+        object.__setattr__(self, "ways", int(self.ways))
+
+    def capacities_for(self, policy: str) -> tuple[int, ...]:
+        """The realisable capacity grid for one policy (filters set-associative)."""
+        if policy == "set-associative":
+            return tuple(c for c in self.capacities if c % self.ways == 0)
+        return self.capacities
+
+
+@dataclass(frozen=True)
+class PolicySweep:
+    """Hit counts of one policy across its capacity grid."""
+
+    policy: str
+    capacities: tuple[int, ...]
+    hits: tuple[int, ...]
+    accesses: int
+    seconds: float
+
+    @property
+    def misses(self) -> tuple[int, ...]:
+        return tuple(self.accesses - h for h in self.hits)
+
+    @property
+    def miss_ratios(self) -> tuple[float, ...]:
+        return tuple(m / self.accesses for m in self.misses)
+
+    def miss_ratio_at(self, capacity: int) -> float:
+        """Miss ratio at one swept capacity (raises if it was not in the grid)."""
+        try:
+            index = self.capacities.index(int(capacity))
+        except ValueError:
+            raise KeyError(f"capacity {capacity} was not swept for policy {self.policy!r}") from None
+        return self.miss_ratios[index]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one :class:`SweepJob`: a :class:`PolicySweep` per policy."""
+
+    name: str
+    accesses: int
+    footprint: int
+    sweeps: tuple[PolicySweep, ...]
+
+    def __getitem__(self, policy: str) -> PolicySweep:
+        for sweep in self.sweeps:
+            if sweep.policy == policy:
+                return sweep
+        raise KeyError(f"policy {policy!r} was not part of this sweep")
+
+    def rows(self) -> list[dict]:
+        """Flat ``policy × capacity`` rows for tables and CSV export."""
+        out: list[dict] = []
+        for sweep in self.sweeps:
+            for capacity, hits, ratio in zip(sweep.capacities, sweep.hits, sweep.miss_ratios):
+                out.append(
+                    {
+                        "trace": self.name,
+                        "policy": sweep.policy,
+                        "capacity": capacity,
+                        "accesses": self.accesses,
+                        "hits": hits,
+                        "misses": self.accesses - hits,
+                        "miss_ratio": ratio,
+                    }
+                )
+        return out
+
+
+def _load(job: SweepJob) -> np.ndarray:
+    if job.trace is not None:
+        return np.asarray(job.trace)
+    from ..trace.io import read_text
+
+    return read_text(Path(job.path)).accesses
+
+
+#: Trace arrays published for forked pool workers.  ``run_sweep`` fills this
+#: immediately before creating its pool (children inherit it copy-on-write)
+#: and clears it afterwards, so the task tuples stay a few bytes each instead
+#: of pickling the whole trace through the task queue once per task.
+_FORKED_TRACES: dict[str, np.ndarray] = {}
+
+#: Keys into the per-task trace payload: the lane kernels want compacted
+#: labels, the set-associative kernel the original ones (its ``item %
+#: num_sets`` mapping is label-dependent).
+_TRACE_KEY = {"lru": "dense", "fifo": "dense", "random": "dense", "set-associative": "raw"}
+
+
+def _run_task(task: tuple) -> tuple[str, tuple[int, ...], np.ndarray, float]:
+    """Evaluate one (policy, capacity-chunk) task; returns hits plus compute seconds."""
+    policy, caps, payload, distinct, ways, seed = task
+    trace = _FORKED_TRACES[payload] if isinstance(payload, str) else payload
+    capacities = np.asarray(caps, dtype=np.int64)
+    start = time.perf_counter()
+    if policy == "lru":
+        hits = lru_sweep_hits(trace, capacities)
+    elif policy == "fifo":
+        hits = fifo_sweep_hits(trace, capacities, distinct=distinct)
+    elif policy == "random":
+        hits = random_sweep_hits(trace, capacities, seed=seed, distinct=distinct)
+    elif policy == "set-associative":
+        hits = set_associative_sweep_hits(trace, capacities, ways=ways)
+    else:  # pragma: no cover - SweepJob validates policies
+        raise ValueError(f"unknown policy {policy!r}")
+    return policy, tuple(caps), hits, time.perf_counter() - start
+
+
+def _tasks_for(job: SweepJob, arrays: dict[str, np.ndarray], distinct: int, workers: int, by_key: bool) -> list[tuple]:
+    """Split the policy × capacity matrix into pool tasks.
+
+    LRU is always a single task (one histogram pass covers the whole grid);
+    FIFO/random grids are chunked only when a pool exists, because each chunk
+    re-walks the trace; set-associative capacities are independent passes and
+    fan out one per task.  With ``by_key`` the tasks reference the trace via
+    :data:`_FORKED_TRACES` instead of embedding the array.
+    """
+    tasks: list[tuple] = []
+    for policy in job.policies:
+        caps = job.capacities_for(policy)
+        if policy == "lru" or workers == 1:
+            chunks = [caps]
+        elif policy == "set-associative":
+            chunks = [(c,) for c in caps]
+        else:
+            pieces = min(workers, len(caps))
+            chunks = [tuple(int(c) for c in part) for part in np.array_split(np.asarray(caps), pieces)]
+        key = _TRACE_KEY[policy]
+        payload = key if by_key else arrays[key]
+        for chunk in chunks:
+            if chunk:
+                tasks.append((policy, tuple(chunk), payload, distinct, job.ways, job.seed))
+    return tasks
+
+
+def run_sweep(job: SweepJob, *, workers: int = 1) -> SweepResult:
+    """Evaluate every policy of ``job`` over its capacity grid.
+
+    ``workers`` fans (policy, capacity-chunk) tasks across forked processes;
+    the result is bit-identical for every worker count (asserted in
+    ``tests/sim/test_sweep.py``), including the seeded random policy.
+    """
+    workers = check_workers(workers)
+    raw = np.asarray(_load(job))
+    dense, distinct = compact_trace(raw)
+    arrays = {"dense": dense, "raw": raw.astype(np.int64, copy=False)}
+    by_key = workers > 1 and fork_available()
+    tasks = _tasks_for(job, arrays, distinct, workers, by_key)
+    if by_key:
+        _FORKED_TRACES.update(arrays)
+        try:
+            outcomes = pool_map(_run_task, tasks, workers=workers)
+        finally:
+            _FORKED_TRACES.clear()
+    else:
+        outcomes = pool_map(_run_task, tasks, workers=workers)
+
+    per_policy: dict[str, tuple[list[int], list[int], float]] = {}
+    for policy, caps, hits, seconds in outcomes:
+        caps_list, hits_list, total = per_policy.setdefault(policy, ([], [], 0.0))
+        caps_list.extend(caps)
+        hits_list.extend(int(h) for h in hits)
+        per_policy[policy] = (caps_list, hits_list, total + seconds)
+
+    sweeps = []
+    for policy in job.policies:
+        caps_list, hits_list, seconds = per_policy[policy]
+        order = np.argsort(np.asarray(caps_list))
+        sweeps.append(
+            PolicySweep(
+                policy=policy,
+                capacities=tuple(int(caps_list[i]) for i in order),
+                hits=tuple(int(hits_list[i]) for i in order),
+                accesses=int(dense.size),
+                seconds=float(seconds),
+            )
+        )
+    return SweepResult(name=job.name, accesses=int(dense.size), footprint=distinct, sweeps=tuple(sweeps))
+
+
+def naive_sweep_hits(
+    trace: Sequence[int] | np.ndarray, capacities: Sequence[int] | np.ndarray, *, policy: str = "lru"
+) -> np.ndarray:
+    """Reference oracle: replay the trace once per capacity through a CacheModel.
+
+    This is the cost wall the sweep engine removes — ``len(capacities)`` full
+    pure-Python replays.  Used by the cross-validation tests and as the
+    baseline of the ``benchmarks/test_bench_sweep.py`` speedup assertion.
+    """
+    from ..cache.fifo import FIFOCache
+    from ..cache.lru import LRUCache
+
+    models = {"lru": LRUCache, "fifo": FIFOCache}
+    if policy not in models:
+        raise ValueError(f"naive replay supports {sorted(models)}, got {policy!r}")
+    caps = check_capacities(capacities)
+    arr = np.asarray(trace).tolist()
+    hits = np.zeros(caps.size, dtype=np.int64)
+    for k, capacity in enumerate(caps):
+        model = models[policy](int(capacity))
+        hits[k] = model.run(arr).hits
+    return hits

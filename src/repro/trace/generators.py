@@ -58,9 +58,7 @@ def random_retraversal(m: int, rng: np.random.Generator | int | None = None) -> 
     return PeriodicTrace(random_permutation(check_positive_int(m, "m"), rng))
 
 
-def fixed_inversion_retraversal(
-    m: int, inversions: int, rng: np.random.Generator | int | None = None
-) -> PeriodicTrace:
+def fixed_inversion_retraversal(m: int, inversions: int, rng: np.random.Generator | int | None = None) -> PeriodicTrace:
     """A random re-traversal with a prescribed inversion number (locality level)."""
     sigma = random_permutation_with_inversions(m, inversions, rng)
     return PeriodicTrace(sigma)
@@ -154,9 +152,7 @@ def tiled_matrix(rows: int, cols: int, tile_rows: int, tile_cols: int) -> Permut
 # --------------------------------------------------------------------------- #
 # Generic synthetic traces
 # --------------------------------------------------------------------------- #
-def random_trace(
-    length: int, footprint: int, rng: np.random.Generator | int | None = None
-) -> Trace:
+def random_trace(length: int, footprint: int, rng: np.random.Generator | int | None = None) -> Trace:
     """A uniformly random trace of ``length`` accesses over ``footprint`` items."""
     length = check_nonnegative_int(length, "length")
     footprint = check_positive_int(footprint, "footprint")

@@ -125,9 +125,7 @@ class PeriodicTrace:
 
     def __post_init__(self):
         if self.items is not None and len(self.items) != self.sigma.size:
-            raise ValueError(
-                f"items has length {len(self.items)}, expected {self.sigma.size}"
-            )
+            raise ValueError(f"items has length {len(self.items)}, expected {self.sigma.size}")
 
     @property
     def m(self) -> int:

@@ -173,9 +173,7 @@ def mlp_parameter_trace(
     all_items = np.concatenate(layer_items)
     m = all_items.size
     if weight_order is not None and weight_order.size != m:
-        raise ValueError(
-            f"weight_order acts on {weight_order.size} items but the model has {m} weight items"
-        )
+        raise ValueError(f"weight_order acts on {weight_order.size} items but the model has {m} weight items")
     passes_list = []
     for p in range(passes):
         if weight_order is not None and p % 2 == 1:
@@ -212,10 +210,7 @@ def attention_parameter_trace(
     head_dim = d_model // num_heads
     weights_per_head_per_matrix = d_model * head_dim
     items_per_head = 4 * (-(-weights_per_head_per_matrix // granularity))
-    head_blocks = [
-        np.arange(h * items_per_head, (h + 1) * items_per_head, dtype=np.intp)
-        for h in range(num_heads)
-    ]
+    head_blocks = [np.arange(h * items_per_head, (h + 1) * items_per_head, dtype=np.intp) for h in range(num_heads)]
     passes_list = []
     for p in range(passes):
         order = range(num_heads)

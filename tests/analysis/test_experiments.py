@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis import (
@@ -15,6 +14,7 @@ from repro.analysis import (
     run_miss_integral,
     run_ml_schedule,
     run_policy_ablation,
+    run_policy_sweep,
     run_s11_ranked_labeling,
     run_sawtooth_cyclic,
     run_theorem2_random,
@@ -127,6 +127,21 @@ class TestAblations:
         for row in rows:
             assert row["greedy_norm_inversions"] <= row["exact_norm_inversions"] + 1e-9
             assert row["random_norm_inversions"] <= row["exact_norm_inversions"] + 1e-9
+
+    def test_policy_sweep_matrix(self):
+        result = run_policy_sweep(8000, 512, exponent=0.9, ways=4, rng=3)
+        rows = result["rows"]
+        assert [row["capacity"] for row in rows] == [4, 8, 16, 32, 64, 128, 256, 512]
+        for row in rows:
+            for policy in ("lru", "fifo", "random", "set_associative"):
+                assert 0.0 <= row[policy] <= 1.0
+        # LRU miss ratios fall monotonically with capacity (stack inclusion)
+        lru = [row["lru"] for row in rows]
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(lru, lru[1:]))
+        # a fully-associative grid point can only beat its 4-way counterpart
+        for row in rows:
+            assert row["lru"] <= row["set_associative"] + 0.05
+        assert set(result["kernel_seconds"]) == {"lru", "fifo", "random", "set-associative"}
 
     def test_ml_schedule_sawtooth_wins(self):
         result = run_ml_schedule(items=64, passes=4)

@@ -108,9 +108,7 @@ class TestDataMovementDistance:
         m = 32
         low = fixed_inversion_retraversal(m, 50, rng)
         high = fixed_inversion_retraversal(m, 400, rng)
-        assert data_movement_distance(high.to_trace().accesses) < data_movement_distance(
-            low.to_trace().accesses
-        )
+        assert data_movement_distance(high.to_trace().accesses) < data_movement_distance(low.to_trace().accesses)
 
     def test_known_value_single_reuse(self):
         # trace 0 0: one cold access (footprint 1 -> cost 1) + one reuse at

@@ -26,7 +26,7 @@ class TestMissRatioCurve:
 
     def test_monotone_nonincreasing(self, rng):
         trace = zipfian_trace(500, 60, rng=rng).accesses
-        curve = curve_array = mrc_from_trace(trace).as_array()
+        curve_array = mrc_from_trace(trace).as_array()
         assert np.all(np.diff(curve_array) <= 1e-12)
 
     def test_indexing_and_clamping(self):

@@ -13,8 +13,9 @@ from repro.cache import (
     stack_distance_histogram,
     stack_distances,
     stack_distances_naive,
+    stack_distances_vectorized,
 )
-from repro.core import Permutation, random_permutation, stack_distances as periodic_stack_distances
+from repro.core import random_permutation, stack_distances as periodic_stack_distances
 from repro.trace import PeriodicTrace, zipfian_trace
 
 
@@ -70,6 +71,40 @@ class TestStackDistances:
 
     def test_empty(self):
         assert stack_distances([]).size == 0
+
+
+class TestVectorizedStackDistances:
+    """The loop-free merge-count pass must be bit-identical to the Fenwick one."""
+
+    def test_known_traces(self):
+        assert stack_distances_vectorized([0, 1, 2, 2, 1, 0]).tolist() == [COLD, COLD, COLD, 1, 2, 3]
+        assert stack_distances_vectorized([0, 1, 2, 0, 1, 2]).tolist() == [COLD, COLD, COLD, 3, 3, 3]
+        assert stack_distances_vectorized([3] * 5).tolist() == [COLD, 1, 1, 1, 1]
+        assert stack_distances_vectorized([]).size == 0
+        assert stack_distances_vectorized([9]).tolist() == [COLD]
+
+    def test_matches_fenwick_on_random_traces(self, rng):
+        for _ in range(10):
+            trace = rng.integers(0, 25, size=int(rng.integers(1, 300)))
+            assert np.array_equal(stack_distances_vectorized(trace), stack_distances(trace))
+
+    def test_matches_fenwick_on_zipf_trace(self):
+        trace = zipfian_trace(6000, 400, exponent=0.9, rng=4).accesses
+        assert np.array_equal(stack_distances_vectorized(trace), stack_distances(trace))
+
+    def test_matches_fenwick_on_periodic_retraversals(self, rng):
+        for _ in range(5):
+            sigma = random_permutation(24, rng)
+            trace = PeriodicTrace(sigma).to_trace().accesses
+            assert np.array_equal(stack_distances_vectorized(trace), stack_distances(trace))
+
+    def test_all_cold_and_power_of_two_padding_edges(self):
+        # no reuse arcs at all
+        assert stack_distances_vectorized(np.arange(7)).tolist() == [COLD] * 7
+        # lengths around powers of two exercise the sentinel padding
+        for n in (1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33):
+            trace = np.arange(n) % max(1, n // 2)
+            assert np.array_equal(stack_distances_vectorized(trace), stack_distances(trace))
 
 
 class TestHistogramAndHits:

@@ -76,9 +76,7 @@ class TestChains:
 
     def test_chain_limit(self):
         graph = build_covering_graph(4)
-        limited = list(
-            saturated_chains(graph, Permutation.identity(4), Permutation.reverse(4), limit=5)
-        )
+        limited = list(saturated_chains(graph, Permutation.identity(4), Permutation.reverse(4), limit=5))
         assert len(limited) == 5
 
     def test_count_matches_enumeration_on_subinterval(self):

@@ -133,9 +133,7 @@ class TestOptimisation:
     def test_exact_matches_brute_force(self, rng, s4):
         for _ in range(10):
             dag = DependencyDAG.random(4, 0.4, rng)
-            best_brute = max(
-                (sigma.inversions() for sigma in s4 if is_feasible(sigma, dag)), default=0
-            )
+            best_brute = max((sigma.inversions() for sigma in s4 if is_feasible(sigma, dag)), default=0)
             sigma, ell = best_feasible_extension(dag)
             assert ell == best_brute
             assert is_feasible(sigma, dag)

@@ -223,9 +223,7 @@ class TestMissRatios:
         for sigma in s4:
             for tau in s4:
                 if weak_order_leq(sigma, tau):
-                    assert np.all(
-                        miss_ratio_curve(tau) <= miss_ratio_curve(sigma) + 1e-12
-                    )
+                    assert np.all(miss_ratio_curve(tau) <= miss_ratio_curve(sigma) + 1e-12)
 
     def test_average_mrc_still_ordered_by_inversion_level(self, s5):
         # The Figure 1 aggregate claim survives: averaging curves within an

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -16,7 +15,7 @@ from repro.core import (
     left_inversion_counts,
     max_inversions,
 )
-from repro.core import Permutation, all_permutations, random_permutation
+from repro.core import Permutation, random_permutation
 
 
 ALL_IMPLEMENTATIONS = [

@@ -146,9 +146,7 @@ class TestMissIntegral:
         m = 5
         values: dict[int, set[float]] = {}
         for sigma in all_permutations(m):
-            values.setdefault(sigma.inversions(), set()).add(
-                round(truncated_miss_integral(sigma), 12)
-            )
+            values.setdefault(sigma.inversions(), set()).add(round(truncated_miss_integral(sigma), 12))
         for level, observed in values.items():
             assert len(observed) == 1
             expected = 1.0 - level / (m * (m - 1))

@@ -87,9 +87,7 @@ class TestCompareLabelings:
     def test_control_has_most_ties(self):
         rows = {row["labeling"]: row for row in compare_labelings(5)}
         control = rows["total_reuse (control)"]
-        assert all(
-            control["arbitrary_choices"] >= row["arbitrary_choices"] for row in rows.values()
-        )
+        assert all(control["arbitrary_choices"] >= row["arbitrary_choices"] for row in rows.values())
 
     def test_custom_labelings_and_weak_moves(self):
         rows = compare_labelings(

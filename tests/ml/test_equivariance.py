@@ -72,9 +72,7 @@ class TestEquivariance:
         d = 6
         w_q, w_k, w_v = (rng.standard_normal((d, d)) for _ in range(3))
         w_o = rng.standard_normal((d, d))
-        assert is_permutation_equivariant(
-            lambda x: self_attention(x, w_q, w_k, w_v, w_o), tokens=5, features=d, rng=1
-        )
+        assert is_permutation_equivariant(lambda x: self_attention(x, w_q, w_k, w_v, w_o), tokens=5, features=d, rng=1)
 
     def test_positional_function_is_not_equivariant(self):
         # adding a position-dependent bias breaks equivariance, and the check
@@ -85,9 +83,7 @@ class TestEquivariance:
         assert not is_permutation_equivariant(positional, tokens=6, features=3, rng=0)
 
     def test_cumulative_function_is_not_equivariant(self):
-        assert not is_permutation_equivariant(
-            lambda x: np.cumsum(x, axis=0), tokens=6, features=3, rng=0
-        )
+        assert not is_permutation_equivariant(lambda x: np.cumsum(x, axis=0), tokens=6, features=3, rng=0)
 
 
 class TestHiddenUnitInvariance:
@@ -100,9 +96,7 @@ class TestHiddenUnitInvariance:
     def test_holds_with_gelu(self, rng):
         w1 = rng.standard_normal((4, 5))
         w2 = rng.standard_normal((5, 2))
-        assert hidden_unit_permutation_invariant(
-            w1, w2, random_permutation(5, rng), activation=gelu, rng=0
-        )
+        assert hidden_unit_permutation_invariant(w1, w2, random_permutation(5, rng), activation=gelu, rng=0)
 
     def test_detects_inconsistent_permutation(self, rng):
         # permuting only one side changes the function: emulate by wrapping a
@@ -115,9 +109,7 @@ class TestHiddenUnitInvariance:
         def mangling_activation(h):
             return np.maximum(h, 0.0)[:, perm]
 
-        assert not hidden_unit_permutation_invariant(
-            w1, w2, sigma, activation=mangling_activation, rng=0
-        )
+        assert not hidden_unit_permutation_invariant(w1, w2, sigma, activation=mangling_activation, rng=0)
 
     def test_shape_validation(self, rng):
         w1 = rng.standard_normal((4, 6))

@@ -90,9 +90,7 @@ class TestChunkPartials:
         single = parallel_reuse_histogram(trace, workers=1, chunks=workers)
         pooled = parallel_reuse_histogram(trace, workers=workers)
         assert single == pooled
-        assert np.array_equal(
-            np.trim_zeros(single.counts, "b"), np.trim_zeros(pooled.counts, "b")
-        )
+        assert np.array_equal(np.trim_zeros(single.counts, "b"), np.trim_zeros(pooled.counts, "b"))
 
     def test_uneven_chunk_sizes(self):
         trace = zipfian_trace(10_001, 512, rng=4).accesses
@@ -117,6 +115,4 @@ class TestChunkPartials:
 class TestParallelCurve:
     def test_parallel_curve_matches_reuse_mrc(self):
         trace = zipfian_trace(15_000, 1_024, rng=5).accesses
-        assert (
-            parallel_reuse_mrc(trace, workers=2).ratios == reuse_mrc(trace).ratios
-        )
+        assert parallel_reuse_mrc(trace, workers=2).ratios == reuse_mrc(trace).ratios

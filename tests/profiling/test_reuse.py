@@ -152,12 +152,8 @@ class TestGeneratorBackedStream:
 
     def test_stream_matches_materialised_distribution(self):
         """The stream draws from the same distribution as zipfian_trace."""
-        stream_items = np.fromiter(
-            zipfian_stream(50_000, 256, rng=11, chunk_size=1_000), dtype=np.int64
-        )
+        stream_items = np.fromiter(zipfian_stream(50_000, 256, rng=11, chunk_size=1_000), dtype=np.int64)
         trace_items = zipfian_trace(50_000, 256, rng=12).accesses
         # Same hot-item ordering: item 0 most popular in both.
         assert np.bincount(stream_items).argmax() == 0
-        assert abs(
-            np.mean(stream_items == 0) - np.mean(trace_items == 0)
-        ) < 0.02
+        assert abs(np.mean(stream_items == 0) - np.mean(trace_items == 0)) < 0.02

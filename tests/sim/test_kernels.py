@@ -1,0 +1,133 @@
+"""Cross-validation of the lane-vectorised FIFO/random/set-associative kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.fifo import FIFOCache
+from repro.cache.random_policy import RandomCache
+from repro.cache.set_associative import SetAssociativeCache
+from repro.core.permutation import Permutation
+from repro.sim import (
+    compact_trace,
+    fifo_sweep_hits,
+    random_sweep_hits,
+    set_associative_sweep_hits,
+)
+from repro.trace.generators import zipfian_trace
+from repro.trace.trace import PeriodicTrace
+
+
+@pytest.fixture
+def zipf_dense():
+    trace = zipfian_trace(3000, 96, exponent=0.9, rng=11).accesses
+    return compact_trace(trace)
+
+
+class TestCompactTrace:
+    def test_densifies_sparse_labels(self):
+        dense, distinct = compact_trace(np.array([100, 7, 100, 9_999_999, 7]))
+        assert distinct == 3
+        assert dense.max() == 2
+        # identity structure preserved: equal labels stay equal, order kept
+        assert dense[0] == dense[2] and dense[1] == dense[4]
+        assert len(set(dense[:2])) == 2
+
+    def test_rejects_empty_and_non_integer(self):
+        with pytest.raises(ValueError):
+            compact_trace(np.array([], dtype=np.int64))
+        with pytest.raises(TypeError):
+            compact_trace(np.array([0.5, 1.5]))
+        with pytest.raises(ValueError):
+            compact_trace(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestFIFOKernel:
+    def test_bit_identical_to_fifo_replay(self, zipf_dense):
+        dense, distinct = zipf_dense
+        capacities = np.arange(1, 97, 3)
+        kernel = fifo_sweep_hits(dense, capacities, distinct=distinct)
+        for capacity, hits in zip(capacities, kernel):
+            assert hits == FIFOCache(int(capacity)).run(dense.tolist()).hits
+
+    def test_periodic_trace_bit_identical(self):
+        trace = PeriodicTrace(Permutation([3, 1, 4, 0, 2, 5])).to_trace().accesses
+        dense, distinct = compact_trace(trace)
+        capacities = np.arange(1, 7)
+        kernel = fifo_sweep_hits(dense, capacities, distinct=distinct)
+        for capacity, hits in zip(capacities, kernel):
+            assert hits == FIFOCache(int(capacity)).run(dense.tolist()).hits
+
+    def test_lane_independence(self, zipf_dense):
+        """Each capacity lane is unaffected by which other lanes run alongside."""
+        dense, distinct = zipf_dense
+        full = fifo_sweep_hits(dense, np.arange(1, 33), distinct=distinct)
+        alone = fifo_sweep_hits(dense, np.array([17]), distinct=distinct)
+        assert alone[0] == full[16]
+
+
+class TestRandomKernel:
+    def test_deterministic_given_seed(self, zipf_dense):
+        dense, distinct = zipf_dense
+        capacities = np.arange(1, 49)
+        a = random_sweep_hits(dense, capacities, seed=3, distinct=distinct)
+        b = random_sweep_hits(dense, capacities, seed=3, distinct=distinct)
+        assert np.array_equal(a, b)
+
+    def test_partition_invariant(self, zipf_dense):
+        """Any split of the grid reproduces the same per-capacity hits."""
+        dense, distinct = zipf_dense
+        capacities = np.arange(1, 49)
+        full = random_sweep_hits(dense, capacities, seed=5, distinct=distinct)
+        pieces = [random_sweep_hits(dense, chunk, seed=5, distinct=distinct) for chunk in np.array_split(capacities, 7)]
+        assert np.array_equal(full, np.concatenate(pieces))
+
+    def test_capacity_at_footprint_only_cold_misses(self, zipf_dense):
+        dense, distinct = zipf_dense
+        hits = random_sweep_hits(dense, np.array([distinct]), seed=0, distinct=distinct)
+        assert hits[0] == dense.size - distinct
+
+    def test_statistics_match_random_cache(self, zipf_dense):
+        """The kernel's hit-ratio distribution matches RandomCache's (no bias).
+
+        Guards the deviate-stream design: pre-drawn per-access deviates are
+        only distributionally equivalent to eviction-time draws while the
+        stream is independent of the trace, which the salted seeding ensures
+        even when trace and sweep share an integer seed.
+        """
+        dense, distinct = zipf_dense
+        seeds = range(12)
+        kernel = [int(random_sweep_hits(dense, np.array([16]), seed=s, distinct=distinct)[0]) for s in seeds]
+        replay = [RandomCache(16, rng=s).run(dense.tolist()).hits for s in seeds]
+        kernel_mean = np.mean(kernel) / dense.size
+        replay_mean = np.mean(replay) / dense.size
+        assert abs(kernel_mean - replay_mean) < 0.02
+
+
+class TestSetAssociativeKernel:
+    def test_bit_identical_to_model_replay(self, zipf_dense):
+        dense, _ = zipf_dense
+        ways = 4
+        capacities = np.array([4, 8, 16, 32, 64, 96])
+        kernel = set_associative_sweep_hits(dense, capacities, ways=ways)
+        for capacity, hits in zip(capacities, kernel):
+            model = SetAssociativeCache(int(capacity) // ways, ways)
+            assert hits == model.run(dense.tolist()).hits
+
+    def test_direct_mapped_and_fully_associative_extremes(self, zipf_dense):
+        dense, _ = zipf_dense
+        direct = set_associative_sweep_hits(dense, np.array([16]), ways=1)
+        model = SetAssociativeCache(16, 1)
+        assert direct[0] == model.run(dense.tolist()).hits
+        # one set of `capacity` ways degenerates to fully-associative LRU
+        fully = set_associative_sweep_hits(dense, np.array([16]), ways=16)
+        model = SetAssociativeCache(1, 16)
+        assert fully[0] == model.run(dense.tolist()).hits
+
+    def test_rejects_non_multiple_capacities(self, zipf_dense):
+        dense, _ = zipf_dense
+        with pytest.raises(ValueError):
+            set_associative_sweep_hits(dense, np.array([6]), ways=4)
+        with pytest.raises(ValueError):
+            set_associative_sweep_hits(dense, np.array([4]), ways=0)

@@ -1,0 +1,148 @@
+"""The SweepJob/SweepResult API and the parallel fan-out of the sweep engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim import POLICIES, SweepJob, SweepResult, run_sweep
+from repro.trace.generators import zipfian_trace
+from repro.trace.io import write_text
+from repro.trace.trace import Trace
+
+
+@pytest.fixture(scope="module")
+def zipf_trace():
+    return zipfian_trace(2500, 80, exponent=0.9, rng=13).accesses
+
+
+ALL_POLICIES_JOB = dict(
+    policies=POLICIES,
+    capacities=(1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 80),
+    ways=4,
+    seed=21,
+)
+
+
+class TestSweepJob:
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            SweepJob(capacities=(1,))
+        with pytest.raises(ValueError):
+            SweepJob(trace=np.array([1, 2]), path="x.trace", capacities=(1,))
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            SweepJob(trace=np.array([1, 2]), policies=("mru",), capacities=(1,))
+
+    def test_rejects_empty_or_bad_capacities(self):
+        with pytest.raises(ValueError):
+            SweepJob(trace=np.array([1, 2]), capacities=())
+        with pytest.raises(ValueError):
+            SweepJob(trace=np.array([1, 2]), capacities=(0,))
+
+    def test_normalises_capacity_grid(self):
+        job = SweepJob(trace=np.array([1, 2]), capacities=(8, 2, 8, 4))
+        assert job.capacities == (2, 4, 8)
+
+    def test_set_associative_grid_filters_non_multiples(self):
+        job = SweepJob(trace=np.array([1, 2]), capacities=(2, 4, 6, 8), ways=4)
+        assert job.capacities_for("set-associative") == (4, 8)
+        assert job.capacities_for("lru") == (2, 4, 6, 8)
+
+    def test_set_associative_with_no_realisable_capacity_is_an_error(self):
+        with pytest.raises(ValueError, match="multiple of ways"):
+            SweepJob(trace=np.array([1, 2]), policies=("set-associative",), capacities=(1, 2, 3), ways=4)
+
+
+class TestRunSweep:
+    def test_full_matrix_shape(self, zipf_trace):
+        job = SweepJob(trace=zipf_trace, name="zipf", **ALL_POLICIES_JOB)
+        result = run_sweep(job)
+        assert isinstance(result, SweepResult)
+        assert result.accesses == zipf_trace.size
+        assert {s.policy for s in result.sweeps} == set(POLICIES)
+        grid = ALL_POLICIES_JOB["capacities"]
+        assert result["lru"].capacities == grid
+        assert result["fifo"].capacities == grid
+        sa = result["set-associative"]
+        assert sa.capacities == tuple(c for c in grid if c % 4 == 0)
+        for sweep in result.sweeps:
+            assert all(0 <= h <= result.accesses for h in sweep.hits)
+            assert all(0.0 <= r <= 1.0 for r in sweep.miss_ratios)
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_workers_never_change_results(self, zipf_trace, workers):
+        """The whole matrix — including the seeded random policy — is
+        bit-identical across worker counts."""
+        job = SweepJob(trace=zipf_trace, **ALL_POLICIES_JOB)
+        serial = run_sweep(job, workers=1)
+        pooled = run_sweep(job, workers=workers)
+        for a, b in zip(serial.sweeps, pooled.sweeps):
+            assert a.policy == b.policy
+            assert a.capacities == b.capacities
+            assert a.hits == b.hits
+
+    def test_lru_hits_monotone_and_saturating(self, zipf_trace):
+        job = SweepJob(trace=zipf_trace, policies=("lru",), capacities=tuple(range(1, 81)))
+        sweep = run_sweep(job)["lru"]
+        hits = np.asarray(sweep.hits)
+        assert np.all(np.diff(hits) >= 0)
+        distinct = np.unique(zipf_trace).size
+        assert hits[-1] == zipf_trace.size - distinct
+
+    def test_rows_and_lookup(self, zipf_trace):
+        job = SweepJob(trace=zipf_trace, name="z", policies=("lru", "fifo"), capacities=(4, 8))
+        result = run_sweep(job)
+        rows = result.rows()
+        assert len(rows) == 4
+        assert {row["policy"] for row in rows} == {"lru", "fifo"}
+        first = rows[0]
+        assert first["hits"] + first["misses"] == first["accesses"]
+        assert result["lru"].miss_ratio_at(8) == pytest.approx(
+            next(r["miss_ratio"] for r in rows if r["policy"] == "lru" and r["capacity"] == 8)
+        )
+        with pytest.raises(KeyError):
+            result["lru"].miss_ratio_at(5)
+        with pytest.raises(KeyError):
+            result["random"]
+
+    def test_loads_trace_from_file(self, zipf_trace, tmp_path):
+        path = tmp_path / "z.trace"
+        write_text(Trace(zipf_trace, name="z"), path)
+        from_file = run_sweep(SweepJob(path=str(path), policies=("lru",), capacities=(4, 16)))
+        in_memory = run_sweep(SweepJob(trace=zipf_trace, policies=("lru",), capacities=(4, 16)))
+        assert from_file["lru"].hits == in_memory["lru"].hits
+
+    def test_rejects_bad_workers(self, zipf_trace):
+        job = SweepJob(trace=zipf_trace, policies=("lru",), capacities=(4,))
+        with pytest.raises(ValueError):
+            run_sweep(job, workers=0)
+
+    def test_set_associative_respects_original_labels(self):
+        """Sparse labels must not be compacted before the modulo set mapping.
+
+        With labels {0, 2} and a direct-mapped cache of 2 sets, both items
+        collide in set 0 (everything misses); compacting to {0, 1} would
+        wrongly spread them across both sets.
+        """
+        from repro.cache.set_associative import SetAssociativeCache
+
+        trace = np.array([0, 2] * 100)
+        job = SweepJob(trace=trace, policies=("set-associative",), capacities=(2,), ways=1)
+        result = run_sweep(job)
+        model = SetAssociativeCache(2, 1)
+        assert result["set-associative"].hits == (model.run(trace.tolist()).hits,)
+        assert result["set-associative"].hits == (0,)
+
+    def test_set_associative_original_labels_across_workers(self):
+        from repro.cache.set_associative import SetAssociativeCache
+
+        rng = np.random.default_rng(4)
+        trace = rng.integers(0, 500, 1200) * 3 + 1  # sparse, non-dense labels
+        job = SweepJob(trace=trace, policies=("set-associative",), capacities=(4, 8, 16), ways=4)
+        for workers in (1, 3):
+            result = run_sweep(job, workers=workers)
+            for capacity, hits in zip(result["set-associative"].capacities, result["set-associative"].hits):
+                model = SetAssociativeCache(int(capacity) // 4, 4)
+                assert hits == model.run(trace.tolist()).hits

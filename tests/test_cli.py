@@ -62,6 +62,95 @@ class TestAnalyzeAndMrc:
         assert len(content) == 9
 
 
+class TestParseCapacities:
+    def test_pow2_grid_covers_footprint(self):
+        from repro.cli import parse_capacities
+
+        assert parse_capacities("pow2", 100) == (1, 2, 4, 8, 16, 32, 64)
+        assert parse_capacities("pow2", 1) == (1,)
+
+    def test_ranges_lists_and_unions(self):
+        from repro.cli import parse_capacities
+
+        assert parse_capacities("4:12:4", 0) == (4, 8, 12)
+        assert parse_capacities("1:3", 0) == (1, 2, 3)
+        assert parse_capacities("7,3,7,1:2", 0) == (1, 2, 3, 7)
+
+    def test_rejects_bad_specs(self):
+        from repro.cli import parse_capacities
+
+        with pytest.raises(ValueError):
+            parse_capacities("1:2:3:4", 8)
+        with pytest.raises(ValueError):
+            parse_capacities("4:8:0", 8)
+        with pytest.raises(ValueError):
+            parse_capacities(",", 8)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def zipf_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("sweep") / "zipf.trace"
+        code = main(
+            [
+                "generate", "zipf", "--length", "5000", "--items", "256",
+                "--exponent", "0.9", "--seed", "5", "-o", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_sweep_prints_policy_capacity_table(self, zipf_file, capsys):
+        code = main(
+            ["sweep", str(zipf_file), "--policies", "lru,fifo,random,set-associative",
+             "--capacities", "4,8,16,32", "--workers", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy sweep" in out
+        assert "set-associative" in out
+        assert "kernel compute time per policy" in out
+
+    def test_sweep_writes_csv(self, zipf_file, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        code = main(["sweep", str(zipf_file), "--policies", "lru", "--capacities", "1:16", "--csv", str(csv_path)])
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "trace,policy,capacity,accesses,hits,misses,miss_ratio"
+        assert len(lines) == 17
+        ratios = [float(line.split(",")[-1]) for line in lines[1:]]
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(ratios, ratios[1:]))
+
+    def test_sweep_matches_mrc_curve(self, zipf_file, tmp_path):
+        """The LRU sweep agrees with the mrc subcommand at every grid point."""
+        mrc_csv = tmp_path / "mrc.csv"
+        sweep_csv = tmp_path / "sweep.csv"
+        assert main(["mrc", str(zipf_file), "--max-size", "32", "--csv", str(mrc_csv)]) == 0
+        assert main(
+            ["sweep", str(zipf_file), "--policies", "lru", "--capacities", "1:32", "--csv", str(sweep_csv)]
+        ) == 0
+        mrc_ratios = [float(line.split(",")[1]) for line in mrc_csv.read_text().splitlines()[1:]]
+        sweep_ratios = [float(line.split(",")[-1]) for line in sweep_csv.read_text().splitlines()[1:]]
+        assert len(mrc_ratios) == len(sweep_ratios) == 32
+        for a, b in zip(mrc_ratios, sweep_ratios):
+            assert abs(a - b) < 1e-9
+
+    def test_sweep_rejects_bad_grid(self, zipf_file, capsys):
+        assert main(["sweep", str(zipf_file), "--capacities", "0:4"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_rejects_unknown_policy(self, zipf_file, capsys):
+        assert main(["sweep", str(zipf_file), "--policies", "mru"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_workers_and_unrealisable_ways(self, zipf_file, capsys):
+        assert main(["sweep", str(zipf_file), "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+        code = main(["sweep", str(zipf_file), "--policies", "set-associative", "--capacities", "1,2,3", "--ways", "4"])
+        assert code == 2
+        assert "multiple of ways" in capsys.readouterr().err
+
+
 class TestChain:
     def test_chain_default_labeling(self, capsys):
         assert main(["chain", "5"]) == 0
@@ -104,8 +193,7 @@ class TestProfile:
     def test_profile_writes_csv(self, zipf_file, tmp_path, capsys):
         csv_path = tmp_path / "approx.csv"
         code = main(
-            ["profile", str(zipf_file), "--mode", "shards", "--rate", "0.1",
-             "--max-size", "64", "--csv", str(csv_path)]
+            ["profile", str(zipf_file), "--mode", "shards", "--rate", "0.1", "--max-size", "64", "--csv", str(csv_path)]
         )
         assert code == 0
         content = csv_path.read_text().splitlines()
@@ -116,10 +204,7 @@ class TestProfile:
         assert all(b <= a + 1e-12 for a, b in zip(ratios, ratios[1:]))
 
     def test_profile_compare_exact_reports_error(self, zipf_file, capsys):
-        code = main(
-            ["profile", str(zipf_file), "--mode", "shards", "--rate", "0.1",
-             "--compare-exact"]
-        )
+        code = main(["profile", str(zipf_file), "--mode", "shards", "--rate", "0.1", "--compare-exact"])
         assert code == 0
         out = capsys.readouterr().out
         assert "mae" in out and "speedup" in out
@@ -131,9 +216,7 @@ class TestProfile:
     def test_profile_batch_of_traces(self, zipf_file, tmp_path, capsys):
         other = tmp_path / "saw.trace"
         assert main(["generate", "sawtooth", "--items", "32", "-o", str(other)]) == 0
-        code = main(
-            ["profile", str(zipf_file), str(other), "--mode", "exact", "--workers", "2"]
-        )
+        code = main(["profile", str(zipf_file), str(other), "--mode", "exact", "--workers", "2"])
         assert code == 0
         out = capsys.readouterr().out
         assert "zipf" in out and "saw" in out
@@ -141,9 +224,7 @@ class TestProfile:
     def test_profile_csv_rejects_multiple_traces(self, zipf_file, tmp_path, capsys):
         other = tmp_path / "saw2.trace"
         assert main(["generate", "sawtooth", "--items", "16", "-o", str(other)]) == 0
-        code = main(
-            ["profile", str(zipf_file), str(other), "--csv", str(tmp_path / "x.csv")]
-        )
+        code = main(["profile", str(zipf_file), str(other), "--csv", str(tmp_path / "x.csv")])
         assert code == 2
 
 
@@ -156,8 +237,7 @@ class TestEndToEndWorkflow:
         approx_csv = tmp_path / "approx.csv"
 
         assert main(
-            ["generate", "zipf", "--length", "10000", "--items", "512",
-             "--seed", "3", "-o", str(trace_path)]
+            ["generate", "zipf", "--length", "10000", "--items", "512", "--seed", "3", "-o", str(trace_path)]
         ) == 0
         assert trace_path.exists()
 

@@ -118,7 +118,6 @@ class TestWorkloadsEndToEnd:
 
     def test_mlp_workload_profits_from_sawtooth_weight_order(self):
         layers = [32, 64, 16]
-        weights = 32 * 64 + 64 * 16
         cyclic = mlp_parameter_trace(layers, passes=4, granularity=16)
         sawtooth = mlp_parameter_trace(
             layers, passes=4, granularity=16, weight_order=Permutation.reverse(cyclic.footprint)

@@ -55,13 +55,9 @@ from repro.trace import PeriodicTrace
 # --------------------------------------------------------------------------- #
 # Strategies
 # --------------------------------------------------------------------------- #
-permutations = st.integers(min_value=1, max_value=40).flatmap(
-    lambda m: st.permutations(range(m))
-).map(Permutation)
+permutations = st.integers(min_value=1, max_value=40).flatmap(lambda m: st.permutations(range(m))).map(Permutation)
 
-small_permutations = st.integers(min_value=1, max_value=9).flatmap(
-    lambda m: st.permutations(range(m))
-).map(Permutation)
+small_permutations = st.integers(min_value=1, max_value=9).flatmap(lambda m: st.permutations(range(m))).map(Permutation)
 
 int_sequences = st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=80)
 
@@ -217,7 +213,11 @@ def test_hit_counts_match_lru_simulation_on_arbitrary_traces(trace, cache_size):
     assert int(hits_vec[cache_size - 1]) == simulated
 
 
-@given(st.integers(min_value=1, max_value=10), st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=0, max_value=2**32 - 1))
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
 @settings(max_examples=40)
 def test_feasible_optimisation_bounds(m, probability, seed):
     dag = DependencyDAG.random(m, probability, seed)

@@ -127,9 +127,7 @@ class TestModelTraces:
 
     def test_attention_head_order_on_even_passes(self):
         trace_default = attention_parameter_trace(32, 4, passes=2, granularity=64)
-        trace_reversed = attention_parameter_trace(
-            32, 4, passes=2, granularity=64, head_order=Permutation.reverse(4)
-        )
+        trace_reversed = attention_parameter_trace(32, 4, passes=2, granularity=64, head_order=Permutation.reverse(4))
         half = len(trace_default) // 2
         assert np.array_equal(trace_default.accesses[:half], trace_reversed.accesses[:half])
         assert not np.array_equal(trace_default.accesses[half:], trace_reversed.accesses[half:])
