@@ -1,0 +1,138 @@
+"""Partitioning with sampled profiles vs. exact profiles — the decision-quality axis.
+
+The partitioning engine's acceptance claim: on a 3-tenant 10^5-reference
+composed Zipf/sawtooth/STREAM workload, the allocator driven by SHARDS
+profiles at rate 0.01 lands within 1% (absolute miss ratio) of the
+allocation driven by exact MRCs, while the profiler touches at least 10x
+fewer references.  The recorded CSV backs the acceptance bar; the
+functional properties (hull/DP beat the proportional split and the
+unpartitioned cache, |predicted - simulated| bounds) live in
+``tests/alloc/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alloc import PartitionJob, partition_composed
+from repro.analysis import format_table, write_csv
+from repro.profiling.shards import sample_trace
+from repro.trace import TenantSpec, compose_tenants, stream_copy, zipfian_trace
+from repro.trace.trace import PeriodicTrace
+
+RATE = 0.01
+N_SEEDS = 2  # ProfileJob default: two pooled SHARDS hash functions
+BUDGET = 8192
+SEED = 7
+
+
+def build_workload():
+    """Three canonical tenants totalling 1e5 references (60k + 20k + 20k)."""
+    tenants = (
+        TenantSpec(zipfian_trace(60_000, 8192, exponent=0.8, rng=SEED), name="zipf"),
+        TenantSpec(PeriodicTrace.sawtooth(10_000).to_trace(), name="sawtooth"),
+        TenantSpec(stream_copy(5_000, repetitions=2), name="stream"),
+    )
+    composed = compose_tenants(tenants, seed=SEED, name="bench-3-tenant")
+    assert len(composed.trace) == 100_000
+    return tenants, composed
+
+
+def test_shards_allocation_matches_exact_at_a_fraction_of_the_work(benchmark, results_dir):
+    tenants, composed = build_workload()
+
+    exact_job = PartitionJob(tenants=tenants, budget=BUDGET, method="hull", mode="exact", seed=SEED)
+    exact = partition_composed(exact_job, composed)
+
+    shards_job = PartitionJob(tenants=tenants, budget=BUDGET, method="hull", mode="shards", rate=RATE, seed=SEED)
+    sampled = partition_composed(shards_job, composed)
+
+    # Profiling work: references the profiler actually processes.  Exact
+    # stack distances touch every reference of every tenant; SHARDS only the
+    # spatially-sampled subset (per pooled hash seed).
+    exact_work = len(composed.trace)
+    shards_work = 0
+    for t in range(composed.num_tenants):
+        stream = composed.tenant_trace(t)
+        for seed in range(N_SEEDS):
+            shards_work += int(sample_trace(stream, RATE, seed=seed)[0].size)
+    work_ratio = exact_work / max(shards_work, 1)
+    assert work_ratio >= 10.0, (
+        f"SHARDS profiling at R={RATE} must process >= 10x fewer references "
+        f"than exact profiling, got {work_ratio:.1f}x"
+    )
+
+    # Decision quality: simulating the *chosen* allocations, the sampled
+    # profiles must land within 1% absolute miss ratio of the exact ones.
+    delta = abs(sampled.simulated_miss_ratio - exact.simulated_miss_ratio)
+    assert delta <= 0.01, (
+        f"SHARDS-driven allocation must stay within 1% miss ratio of the "
+        f"exact-MRC allocation, got {delta:.4f} "
+        f"(exact {exact.allocation()}, shards {sampled.allocation()})"
+    )
+
+    # Both must still beat the naive baselines (the reason partitioning runs).
+    assert exact.win_vs_proportional > 0.0
+    assert sampled.win_vs_proportional > 0.0
+
+    rows = []
+    for label, result, work in (("exact", exact, exact_work), ("shards", sampled, shards_work)):
+        rows.append(
+            {
+                "profiles": label,
+                "rate": 1.0 if label == "exact" else RATE,
+                "refs_processed": work,
+                "work_ratio": exact_work / work,
+                "profile_seconds": result.profile_seconds,
+                "allocation": "/".join(str(c) for c in result.allocation().values()),
+                "simulated_miss_ratio": result.simulated_miss_ratio,
+                "delta_vs_exact": abs(result.simulated_miss_ratio - exact.simulated_miss_ratio),
+                "unpartitioned": result.unpartitioned_miss_ratio,
+                "proportional": result.proportional_miss_ratio,
+            }
+        )
+
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Partitioning from sampled vs exact profiles — 3 tenants, "
+                f"{len(composed.trace)} refs, budget {BUDGET}, hull allocation"
+            ),
+        )
+    )
+    write_csv(results_dir / "partition_sampled_vs_exact.csv", rows)
+
+    benchmark(partition_composed, shards_job, composed)
+
+
+def test_partition_beats_unpartitioned_shared_cache(results_dir):
+    """The headline win: MRC-guided partitioning vs. one shared LRU cache."""
+    tenants, composed = build_workload()
+    rows = []
+    for method in ("greedy", "dp", "hull"):
+        job = PartitionJob(tenants=tenants, budget=BUDGET, method=method, seed=SEED)
+        result = partition_composed(job, composed)
+        rows.append(
+            {
+                "method": method,
+                "allocation": "/".join(str(c) for c in result.allocation().values()),
+                "simulated": result.simulated_miss_ratio,
+                "unpartitioned": result.unpartitioned_miss_ratio,
+                "proportional": result.proportional_miss_ratio,
+                "win_vs_unpartitioned": result.win_vs_unpartitioned,
+                "win_vs_proportional": result.win_vs_proportional,
+            }
+        )
+    by_method = {row["method"]: row for row in rows}
+    for method in ("dp", "hull"):
+        assert by_method[method]["win_vs_proportional"] > 0.0
+        assert by_method[method]["win_vs_unpartitioned"] > 0.0
+    # The exact DP can never lose to the other allocators.
+    assert by_method["dp"]["simulated"] <= min(by_method["greedy"]["simulated"], by_method["hull"]["simulated"]) + 1e-12
+
+    print()
+    print(format_table(rows, title=f"Partitioning win by method — budget {BUDGET}, {len(composed.trace)} refs"))
+    write_csv(results_dir / "partition_win_by_method.csv", rows)
+    assert np.isfinite([row["simulated"] for row in rows]).all()

@@ -11,7 +11,7 @@ Quick start
 -----------
 >>> from repro import Permutation, cache_hit_vector, chain_find
 >>> sawtooth = Permutation.reverse(4)
->>> list(cache_hit_vector(sawtooth))
+>>> [int(h) for h in cache_hit_vector(sawtooth)]
 [1, 2, 3, 4]
 >>> chain = chain_find(Permutation.identity(4))
 >>> chain.end.is_reverse()
@@ -38,6 +38,11 @@ Subpackages
     The policy-sweep engine: the full ``policies × capacities`` miss-ratio
     matrix of a trace in one or few passes (single-pass exact LRU grids,
     lane-vectorised FIFO/random kernels, set-associative fan-out).
+``repro.alloc``
+    Multi-tenant cache partitioning: divide a shared budget among
+    co-running workloads using their exact or approximate MRCs (greedy, an
+    exact DP, and Talus-style convex-hull allocation) and validate against
+    the simulated shared cache.
 ``repro.ml``
     The Section VI application layer: permutation-equivariant models and
     Theorem-4 traversal scheduling for their parameter accesses.

@@ -1,0 +1,365 @@
+"""Cache-partitioning jobs: profile tenants, allocate a shared budget, validate.
+
+:func:`run_partition` is the top of the multi-tenant stack.  Given a
+:class:`PartitionJob` — tenant reference streams, a shared cache budget and an
+allocation method — it
+
+1. **composes** the tenants into one interleaved shared-cache trace
+   (:func:`repro.trace.tenancy.compose_tenants`, seeded and deterministic),
+2. **profiles** each tenant's miss-ratio curve, fanning one
+   :class:`~repro.profiling.engine.ProfileJob` per tenant across the shared
+   process pool (``workers`` never changes any result — profiling jobs are
+   deterministic and collected in tenant order),
+3. **allocates** the budget with the chosen method (``greedy`` | ``dp`` |
+   ``hull``, see :mod:`repro.alloc.allocators`), and
+4. **validates** by simulating the shared cache both *partitioned* (each
+   tenant's stream through its own isolated LRU partition — item namespaces
+   are disjoint, so this is exact, done with one single-capacity
+   stack-distance pass per tenant) and *unpartitioned* (the interleaved trace
+   through one shared LRU cache of the full budget), plus the naive
+   proportional-split baseline.
+
+The returned :class:`PartitionResult` reports predicted vs. simulated miss
+ratios (the prediction error is the profiling error — with ``mode="exact"``
+it is zero by construction) and the partitioning win over the unpartitioned
+shared cache and over the proportional split.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..profiling.engine import ProfileJob, run_jobs
+from ..profiling.pool import check_workers
+from ..sim.kernels import lru_sweep_hits
+from ..trace.tenancy import MultiTenantTrace, TenantSpec, compose_tenants
+from .allocators import dp_allocate, greedy_allocate, hull_allocate, proportional_split
+from .curves import discretize_curve
+
+__all__ = [
+    "METHODS",
+    "PartitionJob",
+    "TenantAllocation",
+    "PartitionResult",
+    "PartitionBaselines",
+    "run_partition",
+    "partition_composed",
+    "profile_tenants",
+    "simulate_baselines",
+]
+
+#: Allocation methods the partition engine understands.
+METHODS = ("greedy", "dp", "hull")
+
+
+@dataclass(frozen=True)
+class PartitionJob:
+    """Specification of one partitioning task (picklable, pool-dispatchable).
+
+    Parameters
+    ----------
+    tenants:
+        The co-running workloads (:class:`~repro.trace.tenancy.TenantSpec`).
+    budget:
+        Shared cache capacity (in blocks) to divide among the tenants.
+    method:
+        Allocation strategy: ``greedy`` (marginal gain), ``dp`` (exact
+        dynamic program) or ``hull`` (Talus-style convex hull).
+    mode, rate, smax, profile_seed:
+        Per-tenant MRC profiling knobs, forwarded to
+        :class:`~repro.profiling.engine.ProfileJob` (``exact`` replays the
+        exact stack-distance pipeline; ``shards``/``reuse`` trade a small,
+        measured amount of accuracy for far less profiling work).
+    unit:
+        Allocation granularity in blocks; allocators hand out whole units.
+    seed:
+        Seed of the tenant interleaving (see
+        :func:`~repro.trace.tenancy.compose_tenants`).
+    """
+
+    tenants: tuple[TenantSpec, ...]
+    budget: int
+    method: str = "hull"
+    mode: str = "exact"
+    rate: float = 0.01
+    smax: int | None = None
+    profile_seed: int = 0
+    unit: int = 1
+    seed: int = 0
+    name: str = "partition"
+
+    def __post_init__(self):
+        tenants = tuple(self.tenants)
+        if not tenants:
+            raise ValueError("need at least one tenant to partition")
+        if self.method not in METHODS:
+            raise ValueError(f"method must be one of {METHODS}, got {self.method!r}")
+        if int(self.budget) < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if int(self.unit) < 1:
+            raise ValueError(f"unit must be >= 1, got {self.unit}")
+        if int(self.unit) > int(self.budget):
+            raise ValueError(f"unit ({self.unit}) cannot exceed the budget ({self.budget})")
+        object.__setattr__(self, "tenants", tenants)
+        object.__setattr__(self, "budget", int(self.budget))
+        object.__setattr__(self, "unit", int(self.unit))
+
+
+@dataclass(frozen=True)
+class TenantAllocation:
+    """One tenant's share of the partitioned cache and its measured behaviour."""
+
+    name: str
+    rate: float
+    accesses: int
+    footprint: int
+    capacity: int
+    predicted_miss_ratio: float
+    simulated_miss_ratio: float
+
+    @property
+    def share(self) -> float:
+        """Allocated capacity as a fraction of the tenant's footprint."""
+        return self.capacity / self.footprint
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of one :class:`PartitionJob`.
+
+    Aggregate miss ratios are access-weighted over the composed trace:
+    ``predicted`` comes from the (possibly approximate) per-tenant profiles at
+    the chosen allocation, ``simulated`` from exact per-partition simulation,
+    ``unpartitioned`` from the shared LRU cache of the whole budget on the
+    interleaved trace, and ``proportional`` from simulating the naive
+    footprint-proportional split.
+    """
+
+    name: str
+    method: str
+    mode: str
+    budget: int
+    unit: int
+    accesses: int
+    tenants: tuple[TenantAllocation, ...]
+    predicted_miss_ratio: float
+    simulated_miss_ratio: float
+    unpartitioned_miss_ratio: float
+    proportional_miss_ratio: float
+    profile_seconds: float
+
+    @property
+    def prediction_error(self) -> float:
+        """Absolute predicted-vs-simulated gap of the partitioned miss ratio."""
+        return abs(self.predicted_miss_ratio - self.simulated_miss_ratio)
+
+    @property
+    def win_vs_unpartitioned(self) -> float:
+        """Miss-ratio reduction vs. the unpartitioned shared cache (positive = win)."""
+        return self.unpartitioned_miss_ratio - self.simulated_miss_ratio
+
+    @property
+    def win_vs_proportional(self) -> float:
+        """Miss-ratio reduction vs. the proportional split (positive = win)."""
+        return self.proportional_miss_ratio - self.simulated_miss_ratio
+
+    def allocation(self) -> dict[str, int]:
+        """Tenant name to allocated capacity (blocks)."""
+        return {tenant.name: tenant.capacity for tenant in self.tenants}
+
+    def rows(self) -> list[dict]:
+        """Flat per-tenant rows for tables and CSV export."""
+        return [
+            {
+                "job": self.name,
+                "method": self.method,
+                "mode": self.mode,
+                "budget": self.budget,
+                "tenant": tenant.name,
+                "rate": tenant.rate,
+                "accesses": tenant.accesses,
+                "footprint": tenant.footprint,
+                "capacity": tenant.capacity,
+                "predicted_miss_ratio": tenant.predicted_miss_ratio,
+                "simulated_miss_ratio": tenant.simulated_miss_ratio,
+            }
+            for tenant in self.tenants
+        ]
+
+    def summary(self) -> dict:
+        """One aggregate row (the partitioning scoreboard)."""
+        return {
+            "job": self.name,
+            "method": self.method,
+            "mode": self.mode,
+            "budget": self.budget,
+            "accesses": self.accesses,
+            "predicted": self.predicted_miss_ratio,
+            "simulated": self.simulated_miss_ratio,
+            "error": self.prediction_error,
+            "unpartitioned": self.unpartitioned_miss_ratio,
+            "proportional": self.proportional_miss_ratio,
+            "win_vs_unpartitioned": self.win_vs_unpartitioned,
+            "win_vs_proportional": self.win_vs_proportional,
+        }
+
+
+_ALLOCATORS = {"greedy": greedy_allocate, "dp": dp_allocate, "hull": hull_allocate}
+
+
+def _simulated_miss_ratio(trace: np.ndarray, capacity: int) -> float:
+    """Exact LRU miss ratio of one stream at one capacity (single-capacity sweep)."""
+    if capacity < 1:
+        return 1.0
+    hits = lru_sweep_hits(trace, np.asarray([capacity], dtype=np.int64))
+    return 1.0 - float(hits[0]) / trace.size
+
+
+@dataclass(frozen=True)
+class PartitionBaselines:
+    """Method-independent validator inputs of one (composed trace, budget) pair.
+
+    Everything here depends only on the composed trace and the budget — not
+    on the allocation method — so method comparisons compute it once via
+    :func:`simulate_baselines` and pass it to every
+    :func:`partition_composed` call.
+    """
+
+    budget: int
+    footprints: tuple[int, ...]
+    unpartitioned_miss_ratio: float
+    proportional_allocation: tuple[int, ...]
+    proportional_miss_ratio: float
+
+
+def simulate_baselines(composed: MultiTenantTrace, budget: int) -> PartitionBaselines:
+    """Simulate the unpartitioned shared cache and the proportional split."""
+    tenant_traces = [composed.tenant_trace(t) for t in range(composed.num_tenants)]
+    footprints = [int(np.unique(stream).size) for stream in tenant_traces]
+    proportional = proportional_split(footprints, int(budget))
+    total = len(composed.trace)
+    proportional_misses = sum(
+        _simulated_miss_ratio(stream, int(capacity)) * stream.size
+        for stream, capacity in zip(tenant_traces, proportional)
+    )
+    return PartitionBaselines(
+        budget=int(budget),
+        footprints=tuple(footprints),
+        unpartitioned_miss_ratio=_simulated_miss_ratio(composed.trace.accesses, int(budget)),
+        proportional_allocation=tuple(int(c) for c in proportional),
+        proportional_miss_ratio=proportional_misses / total,
+    )
+
+
+def run_partition(job: PartitionJob, *, workers: int = 1) -> PartitionResult:
+    """Execute one partitioning job end to end.
+
+    ``workers`` fans the per-tenant profiling jobs across forked processes;
+    the result is bit-identical for every worker count (asserted in
+    ``tests/alloc/test_partition.py``).
+    """
+    workers = check_workers(workers)
+    composed = compose_tenants(job.tenants, seed=job.seed, name=job.name)
+    return partition_composed(job, composed, workers=workers)
+
+
+def profile_tenants(job: PartitionJob, composed: MultiTenantTrace, *, workers: int = 1) -> list:
+    """Per-tenant miss-ratio profiles of a composed trace, fanned over the pool.
+
+    Profiling depends only on the job's ``mode``/``rate``/``smax``/
+    ``profile_seed`` knobs — not on the allocation method — so callers
+    comparing methods (the ``partition`` experiment) profile once and pass
+    the result to :func:`partition_composed` for each method.
+    """
+    profile_jobs = [
+        ProfileJob(
+            trace=composed.tenant_trace(t),
+            name=composed.names[t],
+            mode=job.mode,
+            rate=job.rate,
+            smax=job.smax,
+            seed=job.profile_seed,
+            max_cache_size=job.budget,
+        )
+        for t in range(composed.num_tenants)
+    ]
+    return run_jobs(profile_jobs, workers=check_workers(workers))
+
+
+def partition_composed(
+    job: PartitionJob,
+    composed: MultiTenantTrace,
+    *,
+    workers: int = 1,
+    profiles: list | None = None,
+    baselines: PartitionBaselines | None = None,
+) -> PartitionResult:
+    """Run the profile → allocate → validate pipeline on an already-composed trace.
+
+    Split out of :func:`run_partition` so callers that build the composed
+    trace themselves (benchmarks, the ``partition`` experiment) do not pay
+    for — or depend on — re-composition.  ``profiles`` and ``baselines``
+    optionally supply precomputed :func:`profile_tenants` /
+    :func:`simulate_baselines` results, both method-independent, so method
+    comparisons reuse them (``profile_seconds`` is reported as 0 when
+    profiles are supplied).
+    """
+    workers = check_workers(workers)
+    tenant_traces = [composed.tenant_trace(t) for t in range(composed.num_tenants)]
+
+    if profiles is None:
+        start = time.perf_counter()
+        profiles = profile_tenants(job, composed, workers=workers)
+        profile_seconds = time.perf_counter() - start
+    else:
+        if len(profiles) != composed.num_tenants:
+            raise ValueError(f"got {len(profiles)} profiles for {composed.num_tenants} tenants")
+        profile_seconds = 0.0
+    if baselines is None:
+        baselines = simulate_baselines(composed, job.budget)
+    elif baselines.budget != job.budget:
+        raise ValueError(f"baselines were simulated for budget {baselines.budget}, job has {job.budget}")
+
+    budget_units = job.budget // job.unit
+    curves = [discretize_curve(profile.curve, job.budget, unit=job.unit) for profile in profiles]
+    units = _ALLOCATORS[job.method](curves, budget_units)
+    capacities = [int(u) * job.unit for u in units]
+
+    total = len(composed.trace)
+    tenants: list[TenantAllocation] = []
+    predicted_misses = 0.0
+    simulated_misses = 0.0
+    for t, (stream, curve, capacity) in enumerate(zip(tenant_traces, curves, capacities)):
+        predicted = curve.miss_ratio_at(capacity // job.unit)
+        simulated = _simulated_miss_ratio(stream, capacity)
+        predicted_misses += predicted * stream.size
+        simulated_misses += simulated * stream.size
+        tenants.append(
+            TenantAllocation(
+                name=composed.names[t],
+                rate=composed.rates[t],
+                accesses=int(stream.size),
+                footprint=baselines.footprints[t],
+                capacity=capacity,
+                predicted_miss_ratio=predicted,
+                simulated_miss_ratio=simulated,
+            )
+        )
+
+    return PartitionResult(
+        name=job.name,
+        method=job.method,
+        mode=job.mode,
+        budget=job.budget,
+        unit=job.unit,
+        accesses=total,
+        tenants=tuple(tenants),
+        predicted_miss_ratio=predicted_misses / total,
+        simulated_miss_ratio=simulated_misses / total,
+        unpartitioned_miss_ratio=baselines.unpartitioned_miss_ratio,
+        proportional_miss_ratio=baselines.proportional_miss_ratio,
+        profile_seconds=profile_seconds,
+    )

@@ -1,4 +1,12 @@
-"""Experiment drivers, poset statistics and reporting utilities."""
+"""Experiment drivers, poset statistics and reporting utilities.
+
+Examples
+--------
+>>> from repro.analysis import run_sawtooth_cyclic
+>>> row = run_sawtooth_cyclic()[0]
+>>> row["m"], row["sawtooth_hits_first4"], row["cyclic_hits_below_m"]
+(4, [1, 2, 3, 4], 0)
+"""
 
 from .experiments import (
     fig1_monotone_violations,
@@ -9,6 +17,7 @@ from .experiments import (
     run_matrix_reuse,
     run_miss_integral,
     run_ml_schedule,
+    run_partition_comparison,
     run_policy_ablation,
     run_policy_sweep,
     run_s11_ranked_labeling,
@@ -34,6 +43,7 @@ __all__ = [
     "run_matrix_reuse",
     "run_miss_integral",
     "run_ml_schedule",
+    "run_partition_comparison",
     "run_policy_ablation",
     "run_policy_sweep",
     "run_s11_ranked_labeling",

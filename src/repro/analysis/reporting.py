@@ -44,6 +44,7 @@ def format_table(
         table = [list(row) for row in rows]
 
     def render(value: object) -> str:
+        """Format one cell: floats via ``float_format``, everything else via ``str``."""
         if isinstance(value, float):
             return float_format.format(value)
         return str(value)

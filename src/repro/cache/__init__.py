@@ -4,6 +4,16 @@ The paper's reference model is a fully-associative LRU cache
 (:class:`LRUCache`); the other policies and organisations exist for the
 sensitivity ablations, and the stack-distance / miss-ratio-curve functions
 measure arbitrary traces (not just periodic re-traversals).
+
+Examples
+--------
+>>> from repro.cache import LRUCache, mrc_from_trace
+>>> stats = LRUCache(2).run([0, 1, 0, 2, 0, 1])
+>>> stats.hits, stats.misses
+(2, 4)
+>>> curve = mrc_from_trace([0, 1, 0, 2, 0, 1])
+>>> round(curve[2], 4)  # same trace, same capacity, from one stack-distance pass
+0.6667
 """
 
 from .base import CacheModel, CacheStats, simulate_trace

@@ -89,11 +89,14 @@ class BeladyCache:
 
     @property
     def name(self) -> str:
+        """Policy name used in reports."""
         return "opt"
 
     def reset(self) -> None:
+        """Clear the accumulated statistics."""
         self.stats = CacheStats()
 
     def run(self, trace: Sequence[int] | np.ndarray) -> CacheStats:
+        """Replay ``trace`` through Belady-OPT and return the statistics."""
         self.stats = simulate_opt(trace, self.capacity)
         return self.stats

@@ -24,9 +24,11 @@ class FIFOCache(CacheModel):
 
     @property
     def name(self) -> str:
+        """Policy name used in reports."""
         return "fifo"
 
     def access(self, item: int) -> bool:
+        """Access one item; return ``True`` on a hit."""
         entries = self._entries
         if item in entries:
             return True  # no recency update: insertion order is preserved
@@ -37,6 +39,7 @@ class FIFOCache(CacheModel):
         return False
 
     def contents(self) -> set[int]:
+        """The set of items currently cached."""
         return set(self._entries)
 
     def _reset_state(self) -> None:

@@ -34,10 +34,12 @@ class HierarchyLevelResult:
 
     @property
     def hit_ratio(self) -> float:
+        """Fraction of this level's accesses that hit."""
         return self.hits / self.accesses if self.accesses else 0.0
 
     @property
     def miss_ratio(self) -> float:
+        """Fraction of this level's accesses that missed."""
         return self.misses / self.accesses if self.accesses else 0.0
 
 

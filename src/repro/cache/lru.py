@@ -41,9 +41,11 @@ class LRUCache(CacheModel):
 
     @property
     def name(self) -> str:
+        """Policy name used in reports."""
         return "lru"
 
     def access(self, item: int) -> bool:
+        """Access one item; return ``True`` on a hit."""
         entries = self._entries
         if item in entries:
             entries.move_to_end(item)
@@ -55,6 +57,7 @@ class LRUCache(CacheModel):
         return False
 
     def contents(self) -> set[int]:
+        """The set of items currently cached."""
         return set(self._entries)
 
     def recency_order(self) -> list[int]:

@@ -51,6 +51,7 @@ class MissRatioCurve:
 
     @property
     def max_cache_size(self) -> int:
+        """Number of cache sizes the curve covers."""
         return len(self.ratios)
 
     def __getitem__(self, cache_size: int) -> float:
@@ -61,6 +62,7 @@ class MissRatioCurve:
         return self.ratios[index]
 
     def as_array(self) -> np.ndarray:
+        """The miss ratios as a ``float64`` array (index ``c - 1`` is cache size ``c``)."""
         return np.asarray(self.ratios, dtype=np.float64)
 
     def footprint(self, target_miss_ratio: float) -> int | None:

@@ -36,9 +36,11 @@ class RandomCache(CacheModel):
 
     @property
     def name(self) -> str:
+        """Policy name used in reports."""
         return "random"
 
     def access(self, item: int) -> bool:
+        """Access one item; return ``True`` on a hit."""
         if item in self._index:
             return True
         if len(self._items) >= self.capacity:
@@ -55,6 +57,7 @@ class RandomCache(CacheModel):
         return False
 
     def contents(self) -> set[int]:
+        """The set of items currently cached."""
         return set(self._items)
 
     def _reset_state(self) -> None:

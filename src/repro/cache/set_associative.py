@@ -75,9 +75,11 @@ class SetAssociativeCache(CacheModel):
 
     @property
     def name(self) -> str:
+        """Policy name used in reports."""
         return f"{self.ways}-way-{self.policy}"
 
     def access(self, item: int) -> bool:
+        """Access one item; return ``True`` on a hit."""
         set_index = self._index_function(item) % self.num_sets
         bank = self._sets[set_index]
         hit = bank.access(item)
@@ -87,6 +89,7 @@ class SetAssociativeCache(CacheModel):
         return hit
 
     def contents(self) -> set[int]:
+        """The set of items currently cached (union of all sets)."""
         resident: set[int] = set()
         for bank in self._sets:
             resident |= bank.contents()

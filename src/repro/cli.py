@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Installed as ``python -m repro`` (or the ``repro`` console script); seven
+Installed as ``python -m repro`` (or the ``repro`` console script); eight
 subcommands cover the common workflows:
 
 ``analyze``
@@ -23,6 +23,14 @@ subcommands cover the common workflows:
     single stack-distance pass, FIFO/random lane-vectorised, set-associative
     fanned per capacity — with ``--workers`` spreading kernel tasks across
     processes without changing any result.
+``partition``
+    Divide a shared cache among co-running tenants via the
+    :mod:`repro.alloc` optimizer: ``--tenants`` names the workloads (inline
+    generator specs or trace files), per-tenant miss-ratio curves are
+    profiled (``--mode exact|shards|reuse``, fanned across ``--workers``),
+    ``--method greedy|dp|hull`` allocates the ``--budget``, and the shared
+    cache is simulated both partitioned and unpartitioned to report the
+    predicted vs. simulated miss ratios and the partitioning win.
 ``chain``
     Run ChainFind on ``S_m`` with a chosen labeling and print the tie
     statistics (the Figure 2 measurement for a single size).
@@ -45,6 +53,7 @@ Examples
     python -m repro profile big.trace --mode reuse --workers 4 --csv big_mrc.csv
     python -m repro sweep big.trace --policies lru,fifo,random --capacities pow2
     python -m repro sweep big.trace --policies lru --capacities 64:4096:64 --csv sweep.csv
+    python -m repro partition --tenants zipf,sawtooth:items=4000,stream:n=2000 --budget 2048 --method hull
     python -m repro chain 8 --labeling miss-ratio
     python -m repro experiment fig1
     python -m repro experiment sampling
@@ -235,6 +244,147 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Tenant generator kinds understood by ``--tenants`` and their defaults.
+TENANT_KINDS = {
+    "zipf": {"length": 30000, "items": 4096, "exponent": 0.9, "seed": 7},
+    "sawtooth": {"items": 2048},
+    "cyclic": {"items": 2048},
+    "stream": {"n": 1024, "repetitions": 2},
+    "random": {"length": 20000, "items": 2048, "seed": 7},
+    "file": {"path": None},
+}
+
+
+def _synthetic_trace(kind: str, options: dict):
+    """Build one synthetic trace (the single dispatch shared by ``generate`` and ``--tenants``)."""
+    from .trace.generators import random_retraversal, random_trace, zipfian_trace
+    from .trace.trace import PeriodicTrace
+    from .trace.workloads import stream_copy
+
+    if kind == "cyclic":
+        return PeriodicTrace.cyclic(options["items"]).to_trace()
+    if kind == "sawtooth":
+        return PeriodicTrace.sawtooth(options["items"]).to_trace()
+    if kind == "random-retraversal":
+        return random_retraversal(options["items"], options["seed"]).to_trace()
+    if kind == "zipf":
+        return zipfian_trace(options["length"], options["items"], exponent=options["exponent"], rng=options["seed"])
+    if kind == "stream":
+        return stream_copy(options["n"], repetitions=options["repetitions"])
+    if kind == "random":
+        return random_trace(options["length"], options["items"], rng=options["seed"])
+    raise ValueError(f"unknown trace kind {kind!r}")
+
+
+def parse_tenants(spec: str) -> list:
+    """Parse a ``--tenants`` specification into :class:`~repro.trace.TenantSpec` list.
+
+    The spec is a comma-separated list of tenants, each
+    ``kind[:key=value[:key=value...]]`` with kinds ``zipf`` (length, items,
+    exponent, seed), ``sawtooth``/``cyclic`` (items), ``stream`` (n,
+    repetitions), ``random`` (length, items, seed) and ``file`` (path).  Every
+    kind also accepts ``rate`` (interleaving weight, default 1.0) and ``name``
+    (defaults to the kind; :func:`repro.trace.compose_tenants` suffixes
+    repeated names with the tenant index).
+    """
+    from pathlib import Path
+
+    from .trace.tenancy import TenantSpec
+
+    tenants = []
+    for element in (part for part in spec.split(",") if part.strip()):
+        fields = element.strip().split(":")
+        kind = fields[0].strip()
+        if kind not in TENANT_KINDS:
+            raise ValueError(f"unknown tenant kind {kind!r}; choose from {sorted(TENANT_KINDS)}")
+        options = dict(TENANT_KINDS[kind])
+        options.update({"rate": 1.0, "name": None})
+        for field in fields[1:]:
+            if "=" not in field:
+                raise ValueError(f"bad tenant option {field!r} in {element!r}; expected key=value")
+            key, value = field.split("=", 1)
+            key = key.strip()
+            if key not in options:
+                raise ValueError(f"unknown option {key!r} for tenant kind {kind!r}")
+            default = options[key]
+            if key in ("name", "path"):
+                options[key] = value
+            elif isinstance(default, float):
+                options[key] = float(value)
+            else:
+                options[key] = int(value)
+        rate, name = options.pop("rate"), options.pop("name")
+        if kind == "file":
+            if not options["path"]:
+                raise ValueError("tenant kind 'file' requires a path= option")
+            from .trace.io import read_text
+
+            trace = read_text(Path(options["path"]))
+        else:
+            trace = _synthetic_trace(kind, options)
+        tenants.append(TenantSpec(trace, name=name or kind, rate=rate))
+    if not tenants:
+        raise ValueError(f"tenant spec {spec!r} produced no tenants")
+    return tenants
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .alloc.partition import PartitionJob, run_partition
+    from .analysis.reporting import format_table, write_csv
+
+    try:
+        tenants = parse_tenants(args.tenants)
+        job = PartitionJob(
+            tenants=tuple(tenants),
+            budget=args.budget,
+            method=args.method,
+            mode=args.mode,
+            rate=args.rate,
+            smax=args.smax,
+            profile_seed=args.profile_seed,
+            unit=args.unit,
+            seed=args.seed,
+        )
+        result = run_partition(job, workers=args.workers)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    tenant_rows = result.rows()
+    summary = result.summary()
+    if args.csv:
+        total_row = dict(summary)
+        total_row["tenant"] = "TOTAL"
+        total_row["accesses"] = result.accesses
+        path = write_csv(args.csv, tenant_rows + [total_row])
+        print(f"wrote {len(tenant_rows) + 1} rows to {path}")
+    else:
+        print(
+            format_table(
+                tenant_rows,
+                title=f"partition --method {result.method} — {result.accesses} accesses, budget {result.budget}",
+            )
+        )
+    print(
+        format_table(
+            [
+                {
+                    "predicted": summary["predicted"],
+                    "simulated": summary["simulated"],
+                    "error": summary["error"],
+                    "unpartitioned": summary["unpartitioned"],
+                    "proportional": summary["proportional"],
+                    "win_vs_unpartitioned": summary["win_vs_unpartitioned"],
+                    "win_vs_proportional": summary["win_vs_proportional"],
+                    "profile_seconds": round(result.profile_seconds, 4),
+                }
+            ],
+            title="shared-cache miss ratios (partitioned vs unpartitioned)",
+        )
+    )
+    return 0
+
+
 def _cmd_chain(args: argparse.Namespace) -> int:
     from .analysis.reporting import format_table
     from .core.chainfind import chain_find
@@ -289,6 +439,7 @@ _EXPERIMENTS = {
     "feasibility": ("run_feasibility_ablation", {}),
     "ml-schedule": ("run_ml_schedule", {}),
     "sampling": ("run_sampling_ablation", {}),
+    "partition": ("run_partition_comparison", {}),
 }
 
 
@@ -319,24 +470,19 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    from .trace.generators import random_retraversal, zipfian_trace
     from .trace.io import write_text
-    from .trace.trace import PeriodicTrace
-    from .trace.workloads import stream_copy
 
-    kind = args.kind
-    if kind == "cyclic":
-        trace = PeriodicTrace.cyclic(args.items).to_trace()
-    elif kind == "sawtooth":
-        trace = PeriodicTrace.sawtooth(args.items).to_trace()
-    elif kind == "random-retraversal":
-        trace = random_retraversal(args.items, args.seed).to_trace()
-    elif kind == "zipf":
-        trace = zipfian_trace(args.length, args.items, exponent=args.exponent, rng=args.seed)
-    elif kind == "stream":
-        trace = stream_copy(args.items, repetitions=args.repetitions)
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(f"unknown trace kind {kind!r}")
+    trace = _synthetic_trace(
+        args.kind,
+        {
+            "items": args.items,
+            "n": args.items,  # stream sizes its arrays from --items
+            "length": args.length,
+            "exponent": args.exponent,
+            "repetitions": args.repetitions,
+            "seed": args.seed,
+        },
+    )
     path = write_text(trace, args.output)
     print(f"wrote {len(trace)} accesses over {trace.footprint} items to {path}")
     return 0
@@ -407,6 +553,37 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1, help="process pool size (never changes the results)")
     sweep.add_argument("--csv", default=None, help="write the sweep rows to this CSV file")
     sweep.set_defaults(func=_cmd_sweep)
+
+    partition = subparsers.add_parser("partition", help="divide a shared cache among tenants via MRC allocation")
+    partition.add_argument(
+        "--tenants",
+        required=True,
+        help=(
+            "comma-separated tenant specs kind[:key=value...]; kinds: zipf, sawtooth, "
+            "cyclic, stream, random, file (every kind also takes rate= and name=)"
+        ),
+    )
+    partition.add_argument("--budget", type=int, required=True, help="shared cache capacity in blocks")
+    partition.add_argument(
+        "--method",
+        choices=["greedy", "dp", "hull"],
+        default="hull",
+        help="allocator: marginal-gain greedy, exact DP, or Talus-style convex hull",
+    )
+    partition.add_argument(
+        "--mode",
+        choices=["exact", "shards", "reuse"],
+        default="exact",
+        help="per-tenant MRC profiling mode (see the profile subcommand)",
+    )
+    partition.add_argument("--rate", type=float, default=0.01, help="SHARDS sampling rate R (mode shards)")
+    partition.add_argument("--smax", type=int, default=None, help="fixed-size SHARDS: max distinct sampled items")
+    partition.add_argument("--unit", type=int, default=1, help="allocation granularity in blocks")
+    partition.add_argument("--seed", type=int, default=0, help="seed of the tenant interleaving")
+    partition.add_argument("--profile-seed", type=int, default=0, help="base hash seed for SHARDS sampling")
+    partition.add_argument("--workers", type=int, default=1, help="process pool size for per-tenant profiling")
+    partition.add_argument("--csv", default=None, help="write per-tenant rows plus a TOTAL row to this CSV file")
+    partition.set_defaults(func=_cmd_partition)
 
     chain = subparsers.add_parser("chain", help="run ChainFind on S_m")
     chain.add_argument("m", type=int, help="number of data items")

@@ -9,6 +9,18 @@ entry points are re-exported here:
 * :func:`chain_find` with the edge labelings of Section V,
 * Theorem-4 scheduling and feasibility-constrained optimisation,
 * the Mahonian / integer-partition analyses of the appendix.
+
+Examples
+--------
+Inversions measure locality (Theorem 2): the truncated sum of the hit
+vector equals the inversion number.
+
+>>> from repro.core import Permutation, cache_hit_vector, count_inversions
+>>> sigma = Permutation([2, 0, 3, 1])
+>>> int(count_inversions(sigma))
+3
+>>> sum(int(h) for h in cache_hit_vector(sigma)[:-1])
+3
 """
 
 from .permutation import (

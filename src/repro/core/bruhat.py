@@ -148,6 +148,7 @@ def weak_order_leq(sigma: Permutation, tau: Permutation) -> bool:
         raise ValueError(f"permutations act on different sizes ({sigma.size} vs {tau.size})")
 
     def value_inversions(p: Permutation) -> set[tuple[int, int]]:
+        """The value-space inversion set ``{(a, b) : a < b, a after b}`` of ``p``."""
         inv = p.inverse()
         out = set()
         for a in range(p.size):

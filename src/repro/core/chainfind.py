@@ -81,10 +81,12 @@ class ChainFindResult:
 
     @property
     def start(self) -> Permutation:
+        """First permutation of the chain (the starting point)."""
         return self.chain[0]
 
     @property
     def end(self) -> Permutation:
+        """Last permutation of the chain."""
         return self.chain[-1]
 
     @property

@@ -126,6 +126,7 @@ def count_maximal_chains(graph: nx.DiGraph, start: Permutation, end: Permutation
     memo: dict[Permutation, int] = {end: 1}
 
     def chains_from(node: Permutation) -> int:
+        """Number of saturated chains from ``node`` to ``end`` (memoised)."""
         if node in memo:
             return memo[node]
         total = sum(chains_from(nxt) for nxt in graph.successors(node))

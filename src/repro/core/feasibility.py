@@ -214,6 +214,7 @@ def feasibility_predicate(dag: DependencyDAG):
     """A predicate ``Y(sigma)`` suitable for :func:`repro.core.chainfind.chain_find`."""
 
     def predicate(sigma: Permutation) -> bool:
+        """Whether ``sigma`` respects every dependency of the DAG."""
         return is_feasible(sigma, dag)
 
     return predicate

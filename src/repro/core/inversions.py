@@ -150,6 +150,7 @@ def count_inversions_mergesort(sequence: Sequence[int]) -> int:
     arr = list(sequence)
 
     def sort(lo: int, hi: int, buf: list) -> int:
+        """Sort ``arr[lo:hi]`` in place, returning the inversions merged away."""
         if hi - lo <= 1:
             return 0
         mid = (lo + hi) // 2

@@ -85,6 +85,7 @@ class MissRatioLabeling(EdgeLabeling):
     """
 
     def label(self, sigma: Permutation, tau: Permutation) -> tuple:
+        """The full hit vector of ``tau``, compared lexicographically."""
         return tuple(int(x) for x in cache_hit_vector(tau))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -106,6 +107,7 @@ class RankedMissRatioLabeling(EdgeLabeling):
         self.psi = psi if isinstance(psi, Permutation) else Permutation(psi)
 
     def label(self, sigma: Permutation, tau: Permutation) -> tuple:
+        """The hit vector of ``tau`` permuted by ``psi`` before comparison."""
         vec = cache_hit_vector(tau)
         if vec.size != self.psi.size:
             raise ValueError(f"psi acts on {self.psi.size} cache sizes but the trace has {vec.size}")
@@ -125,6 +127,7 @@ class TransposedLabeling(EdgeLabeling):
     """
 
     def label(self, sigma: Permutation, tau: Permutation) -> tuple:
+        """The sorted pair of values exchanged along the edge."""
         diff = [i for i in range(sigma.size) if sigma[i] != tau[i]]
         if len(diff) != 2:
             raise ValueError("edge does not correspond to a single transposition")
@@ -152,6 +155,7 @@ class RandomTiebreakLabeling(EdgeLabeling):
         self._rng = ensure_rng(rng)
 
     def label(self, sigma: Permutation, tau: Permutation) -> tuple:
+        """The base label with a seeded random tiebreak component appended."""
         return tuple(self.base.label(sigma, tau)) + (float(self._rng.random()),)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -170,6 +174,7 @@ class CompositeLabeling(EdgeLabeling):
         self.secondary = secondary
 
     def label(self, sigma: Permutation, tau: Permutation) -> tuple:
+        """The primary label, with the secondary label as a tiebreak."""
         return (
             tuple(self.primary.label(sigma, tau)),
             tuple(self.secondary.label(sigma, tau)),
@@ -217,6 +222,7 @@ def count_nondecreasing_chains(labeling: EdgeLabeling, start: Permutation, end: 
         return 1
 
     def rec(node: Permutation, prev_label: tuple | None) -> int:
+        """Count saturated chains from ``node`` whose labels stay increasing."""
         if node == end:
             return 1
         total = 0

@@ -106,6 +106,7 @@ def permutations_with_inversions(m: int, n: int) -> Iterator[Permutation]:
     code = [0] * m
 
     def rec(i: int, remaining: int) -> Iterator[Permutation]:
+        """Yield permutations extending ``code`` with ``remaining`` inversions."""
         if i == m:
             if remaining == 0:
                 yield Permutation.from_lehmer(code)
@@ -202,6 +203,7 @@ def integer_partitions(
     cap = n if max_part is None else min(max_part, n)
 
     def rec(remaining: int, largest: int, length: int) -> Iterator[tuple[int, ...]]:
+        """Yield partitions of ``remaining`` with parts at most ``largest``."""
         if remaining == 0:
             yield ()
             return

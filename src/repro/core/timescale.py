@@ -67,6 +67,7 @@ class TimescaleLabeling(EdgeLabeling):
         self.num_windows = int(num_windows)
 
     def label(self, sigma: Permutation, tau: Permutation) -> tuple:
+        """Negated footprint curve of ``tau`` sampled at the tracked windows."""
         from ..cache.footprint import footprint_curve
 
         trace = _periodic_trace_array(tau)
@@ -82,6 +83,7 @@ class DataMovementLabeling(EdgeLabeling):
     """Label edges by the negated data-movement distance of the destination."""
 
     def label(self, sigma: Permutation, tau: Permutation) -> tuple:
+        """Negated data-movement distance of ``tau``."""
         from ..cache.footprint import data_movement_distance
 
         return (-float(data_movement_distance(_periodic_trace_array(tau))),)
@@ -100,6 +102,7 @@ class TotalReuseLabeling(EdgeLabeling):
     """
 
     def label(self, sigma: Permutation, tau: Permutation) -> tuple:
+        """Negated total reuse of ``tau`` (constant across covers, by Theorem 2)."""
         from .hits import total_reuse
 
         return (-int(total_reuse(tau)),)

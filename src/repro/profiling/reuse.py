@@ -237,6 +237,7 @@ class ReuseTimeProfiler:
 
     @property
     def accesses(self) -> int:
+        """Number of references recorded so far."""
         return self.histogram.accesses
 
     @property

@@ -20,6 +20,16 @@ subsystem collapses that matrix:
 
 The CLI exposes the engine as ``python -m repro sweep``; the
 ``policy-sweep`` experiment and ``benchmarks/test_bench_sweep.py`` build on it.
+
+Examples
+--------
+>>> from repro.sim import SweepJob, run_sweep
+>>> from repro.trace import zipfian_trace
+>>> trace = zipfian_trace(5000, 256, exponent=0.9, rng=5).accesses
+>>> job = SweepJob(trace=trace, policies=("lru", "fifo"), capacities=(16, 64, 256))
+>>> result = run_sweep(job)
+>>> result["lru"].miss_ratio_at(64) <= result["lru"].miss_ratio_at(16)
+True
 """
 
 from .kernels import (

@@ -113,10 +113,12 @@ class PolicySweep:
 
     @property
     def misses(self) -> tuple[int, ...]:
+        """Miss counts, aligned with ``capacities``."""
         return tuple(self.accesses - h for h in self.hits)
 
     @property
     def miss_ratios(self) -> tuple[float, ...]:
+        """Miss ratios, aligned with ``capacities``."""
         return tuple(m / self.accesses for m in self.misses)
 
     def miss_ratio_at(self, capacity: int) -> float:

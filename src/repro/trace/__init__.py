@@ -1,4 +1,14 @@
-"""Trace substrate: containers, generators, synthetic workloads, file I/O, statistics."""
+"""Trace substrate: containers, generators, synthetic workloads, file I/O, statistics.
+
+Examples
+--------
+>>> from repro.trace import sawtooth_retraversal, zipfian_trace
+>>> trace = sawtooth_retraversal(4).to_trace()
+>>> [int(x) for x in trace.accesses]
+[0, 1, 2, 3, 3, 2, 1, 0]
+>>> zipfian_trace(1000, 64, exponent=1.0, rng=7).footprint <= 64
+True
+"""
 
 from .trace import PeriodicTrace, Trace
 from .generators import (
@@ -35,6 +45,7 @@ from .decomposition import (
 )
 from .io import read_npz, read_text, write_npz, write_text
 from .stats import TraceStats, locality_score, summarize
+from .tenancy import MultiTenantTrace, TenantSpec, compose_tenants
 
 __all__ = [
     "PeriodicTrace",
@@ -72,4 +83,7 @@ __all__ = [
     "TraceStats",
     "locality_score",
     "summarize",
+    "MultiTenantTrace",
+    "TenantSpec",
+    "compose_tenants",
 ]

@@ -69,6 +69,7 @@ class PhaseDecomposition:
 
     @property
     def num_phases(self) -> int:
+        """Number of detected traversal phases."""
         return len(self.phases)
 
 

@@ -1,0 +1,214 @@
+"""Allocator correctness: greedy vs DP vs hull vs proportional.
+
+The load-bearing properties:
+
+* the DP is an exact optimum, so no other allocator can beat it on any
+  curve set (hypothesis-checked on random monotone curves);
+* greedy equals the DP whenever every curve is convex (hypothesis-checked on
+  random convex curves);
+* the convex hull rescues greedy on cliff curves;
+* hull allocation never loses to the naive proportional split on the
+  composed multi-tenant workloads the acceptance criteria name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc import (
+    DiscretizedMRC,
+    discretize_curve,
+    dp_allocate,
+    greedy_allocate,
+    hull_allocate,
+    lower_convex_hull,
+    proportional_split,
+    total_misses,
+)
+from repro.cache.mrc import mrc_from_trace
+from repro.trace import TenantSpec, compose_tenants, zipfian_trace
+from repro.trace.trace import PeriodicTrace
+from repro.trace.workloads import stream_copy
+
+
+def curve_from_misses(misses) -> DiscretizedMRC:
+    values = np.asarray(misses, dtype=np.float64)
+    return DiscretizedMRC(misses=values, unit=1, accesses=max(int(values[0]), 1))
+
+
+@st.composite
+def convex_curves(draw):
+    """A list of tenants with convex (decreasing-gain) discretized miss curves."""
+    num_tenants = draw(st.integers(min_value=1, max_value=4))
+    curves = []
+    for _ in range(num_tenants):
+        length = draw(st.integers(min_value=1, max_value=12))
+        gains = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                min_size=length,
+                max_size=length,
+            )
+        )
+        gains = sorted(gains, reverse=True)  # non-increasing gains == convex curve
+        start = float(sum(gains)) + draw(st.floats(min_value=0.0, max_value=100.0))
+        misses = [start]
+        for gain in gains:
+            misses.append(misses[-1] - gain)
+        curves.append(curve_from_misses(misses))
+    return curves
+
+
+@st.composite
+def monotone_curves(draw):
+    """Arbitrary non-increasing (possibly wildly non-convex) miss curves."""
+    num_tenants = draw(st.integers(min_value=1, max_value=4))
+    curves = []
+    for _ in range(num_tenants):
+        length = draw(st.integers(min_value=1, max_value=12))
+        gains = draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                min_size=length,
+                max_size=length,
+            )
+        )
+        start = float(sum(gains)) + 1.0
+        misses = [start]
+        for gain in gains:
+            misses.append(misses[-1] - gain)
+        curves.append(curve_from_misses(misses))
+    return curves
+
+
+class TestGreedyEqualsDPOnConvex:
+    @settings(max_examples=200, deadline=None)
+    @given(curves=convex_curves(), budget=st.integers(min_value=0, max_value=40))
+    def test_greedy_matches_dp_total_misses(self, curves, budget):
+        greedy = greedy_allocate(curves, budget)
+        exact = dp_allocate(curves, budget)
+        assert total_misses(curves, greedy) == pytest.approx(total_misses(curves, exact), abs=1e-6)
+
+    @settings(max_examples=200, deadline=None)
+    @given(curves=convex_curves(), budget=st.integers(min_value=0, max_value=40))
+    def test_hull_matches_dp_total_misses_on_convex(self, curves, budget):
+        hull = hull_allocate(curves, budget)
+        exact = dp_allocate(curves, budget)
+        assert total_misses(curves, hull) == pytest.approx(total_misses(curves, exact), abs=1e-6)
+
+
+class TestDPIsOptimal:
+    @settings(max_examples=200, deadline=None)
+    @given(curves=monotone_curves(), budget=st.integers(min_value=0, max_value=40))
+    def test_dp_never_loses_to_any_other_allocator(self, curves, budget):
+        exact = total_misses(curves, dp_allocate(curves, budget))
+        for other in (greedy_allocate, hull_allocate):
+            assert exact <= total_misses(curves, other(curves, budget)) + 1e-6
+
+    @settings(max_examples=100, deadline=None)
+    @given(curves=monotone_curves(), budget=st.integers(min_value=0, max_value=40))
+    def test_allocations_respect_the_budget(self, curves, budget):
+        for allocator in (greedy_allocate, dp_allocate, hull_allocate):
+            allocation = allocator(curves, budget)
+            assert int(allocation.sum()) <= budget
+            assert np.all(allocation >= 0)
+            assert all(a <= c.max_units for a, c in zip(allocation, curves))
+
+
+class TestCliffCurves:
+    def test_hull_and_dp_climb_the_cliff_greedy_cannot(self):
+        """One smooth tenant and one pure cliff: greedy starves the cliff even
+        when climbing it is globally optimal; the hull and the DP see it."""
+        smooth = curve_from_misses([100.0 - 2.0 * j for j in range(11)])  # gain 2/unit
+        cliff = curve_from_misses([1000.0] * 10 + [0.0])  # 1000 misses at 10 units
+        curves = [smooth, cliff]
+        budget = 10
+        greedy = greedy_allocate(curves, budget)
+        hull = hull_allocate(curves, budget)
+        exact = dp_allocate(curves, budget)
+        assert greedy.tolist() == [10, 0]  # only sees the 2/unit gains
+        assert hull.tolist() == [0, 10]  # hull slope of the cliff is 100/unit
+        assert exact.tolist() == [0, 10]
+        assert total_misses(curves, hull) < total_misses(curves, greedy)
+
+    def test_hull_never_takes_a_partial_cliff(self):
+        """With too little budget for the cliff, the hull skips it whole and
+        spends the budget on the smooth tenant instead of stranding it."""
+        smooth = curve_from_misses([100.0 - 2.0 * j for j in range(11)])
+        cliff = curve_from_misses([1000.0] * 10 + [0.0])
+        allocation = hull_allocate([smooth, cliff], 8)
+        assert allocation.tolist() == [8, 0]
+
+    def test_lower_convex_hull_of_convex_curve_is_identity(self):
+        misses = np.array([10.0, 6.0, 3.0, 1.0, 0.0])
+        vertices, values = lower_convex_hull(misses)
+        np.testing.assert_array_equal(vertices, np.arange(5))
+        np.testing.assert_array_equal(values, misses)
+
+
+class TestHullVsProportionalOnComposedWorkloads:
+    @pytest.mark.parametrize("budget", [256, 1024, 2048, 4096])
+    def test_hull_never_loses_to_proportional_split(self, budget):
+        tenants = [
+            TenantSpec(zipfian_trace(12000, 2048, exponent=0.9, rng=11), name="zipf"),
+            TenantSpec(PeriodicTrace.sawtooth(1500).to_trace(), name="saw"),
+            TenantSpec(stream_copy(800, repetitions=3), name="stream"),
+        ]
+        composed = compose_tenants(tenants, seed=11)
+        streams = [composed.tenant_trace(t) for t in range(composed.num_tenants)]
+        curves = [discretize_curve(mrc_from_trace(s, max_cache_size=budget), budget) for s in streams]
+        hull = hull_allocate(curves, budget)
+        proportional = proportional_split([int(np.unique(s).size) for s in streams], budget)
+        clamped = np.minimum(proportional, [c.max_units for c in curves])
+        assert total_misses(curves, hull) <= total_misses(curves, clamped) + 1e-6
+
+
+class TestProportionalSplit:
+    def test_exact_proportions_when_divisible(self):
+        assert proportional_split([100, 300], 8).tolist() == [2, 6]
+
+    def test_total_never_exceeds_budget_or_footprints(self):
+        allocation = proportional_split([7, 13, 5], 100)
+        assert allocation.tolist() == [7, 13, 5]  # capped at footprints
+        allocation = proportional_split([7, 13, 5], 10)
+        assert int(allocation.sum()) == 10
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            proportional_split([], 10)
+        with pytest.raises(ValueError):
+            proportional_split([0, 5], 10)
+        with pytest.raises(ValueError):
+            proportional_split([5], -1)
+
+
+class TestDiscretizeCurve:
+    def test_capacity_zero_misses_every_access(self):
+        curve = mrc_from_trace([0, 1, 0, 1, 0, 1])
+        d = discretize_curve(curve, budget=4)
+        assert d.misses[0] == 6.0
+        assert d.miss_ratio_at(0) == 1.0
+
+    def test_units_coarsen_the_grid(self):
+        curve = mrc_from_trace(zipfian_trace(2000, 128, rng=0).accesses)
+        fine = discretize_curve(curve, budget=64, unit=1)
+        coarse = discretize_curve(curve, budget=64, unit=16)
+        assert coarse.max_units == 4
+        assert coarse.misses_at(1) == fine.misses_at(16)
+
+    def test_monotone_even_for_noisy_curves(self):
+        from repro.cache.mrc import MissRatioCurve
+
+        noisy = MissRatioCurve(ratios=(0.9, 0.5, 0.6, 0.4), accesses=100)
+        d = discretize_curve(noisy, budget=4)
+        assert np.all(np.diff(d.misses) <= 0)
+
+    def test_rejects_bad_budget_and_unit(self):
+        curve = mrc_from_trace([0, 1, 0, 1])
+        with pytest.raises(ValueError):
+            discretize_curve(curve, budget=0)
+        with pytest.raises(ValueError):
+            discretize_curve(curve, budget=4, unit=0)

@@ -151,6 +151,78 @@ class TestSweep:
         assert "multiple of ways" in capsys.readouterr().err
 
 
+class TestPartition:
+    ACCEPTANCE_TENANTS = "zipf:length=15000:items=2048,sawtooth:items=2000,stream:n=1000:repetitions=3"
+
+    def _total_row(self, csv_path):
+        lines = csv_path.read_text().splitlines()
+        headers = lines[0].split(",")
+        rows = [dict(zip(headers, line.split(","))) for line in lines[1:]]
+        total = [row for row in rows if row["tenant"] == "TOTAL"]
+        assert len(total) == 1
+        return rows, total[0]
+
+    def test_partition_prints_tables(self, capsys):
+        code = main(
+            ["partition", "--tenants", "zipf:length=4000:items=512,sawtooth:items=256",
+             "--budget", "256", "--method", "greedy"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "partition --method greedy" in out
+        assert "shared-cache miss ratios" in out
+        assert "win_vs_proportional" in out
+
+    def test_partition_acceptance_criteria(self, tmp_path, capsys):
+        """The ISSUE acceptance bar: 3-tenant Zipf/sawtooth/STREAM composition,
+        |predicted - simulated| <= 0.02, and hull/DP beat the proportional split."""
+        for method in ("hull", "dp"):
+            csv_path = tmp_path / f"{method}.csv"
+            code = main(
+                ["partition", "--tenants", self.ACCEPTANCE_TENANTS, "--budget", "1024",
+                 "--method", method, "--workers", "2", "--csv", str(csv_path)]
+            )
+            assert code == 0
+            rows, total = self._total_row(csv_path)
+            assert len(rows) == 4  # 3 tenants + TOTAL
+            assert abs(float(total["predicted"]) - float(total["simulated"])) <= 0.02
+            assert float(total["win_vs_proportional"]) > 0.0
+
+    def test_partition_shards_mode_stays_accurate(self, tmp_path):
+        csv_path = tmp_path / "shards.csv"
+        code = main(
+            ["partition", "--tenants", self.ACCEPTANCE_TENANTS, "--budget", "1024",
+             "--method", "hull", "--mode", "shards", "--rate", "0.1", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        _, total = self._total_row(csv_path)
+        assert float(total["error"]) <= 0.02
+
+    def test_partition_file_tenant_kind(self, trace_file, capsys):
+        code = main(
+            ["partition", "--tenants", f"file:path={trace_file}:name=disk,zipf:length=2000:items=256",
+             "--budget", "64"]
+        )
+        assert code == 0
+        assert "disk" in capsys.readouterr().out
+
+    def test_partition_rejects_bad_specs(self, capsys):
+        assert main(["partition", "--tenants", "nosuch", "--budget", "64"]) == 2
+        assert "unknown tenant kind" in capsys.readouterr().err
+        assert main(["partition", "--tenants", "zipf:bogus=1", "--budget", "64"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+        assert main(["partition", "--tenants", "zipf:items", "--budget", "64"]) == 2
+        assert "expected key=value" in capsys.readouterr().err
+        assert main(["partition", "--tenants", "file", "--budget", "64"]) == 2
+        assert "requires a path" in capsys.readouterr().err
+
+    def test_partition_rejects_bad_budget_and_unit(self, capsys):
+        assert main(["partition", "--tenants", "zipf", "--budget", "0"]) == 2
+        assert "budget" in capsys.readouterr().err
+        assert main(["partition", "--tenants", "zipf", "--budget", "64", "--unit", "128"]) == 2
+        assert "unit" in capsys.readouterr().err
+
+
 class TestChain:
     def test_chain_default_labeling(self, capsys):
         assert main(["chain", "5"]) == 0
