@@ -1,0 +1,113 @@
+"""Online adaptive re-partitioning vs. the static whole-trace optimum.
+
+The online engine's acceptance claim, asserted on the canonical 3-phase
+drifting two-tenant seesaw (72k composed references): adaptive
+re-partitioning from windowed-SHARDS profiles achieves a *strictly lower*
+overall miss ratio than the best static whole-trace partition, while the
+windowed profiler touches at most **2x** the references a single whole-trace
+exact profile would (so the adaptation is not bought with unbounded
+profiling), and results are bit-identical across ``--workers``.  The
+per-epoch miss-ratio series of static vs. adaptive vs. oracle-per-phase
+lands in ``benchmarks/results/`` for re-plotting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table, write_csv
+from repro.online import OnlineJob, run_replay
+from repro.trace.drift import three_phase_pair
+
+LENGTH_PER_PHASE = 12_000
+SEED = 7
+JOB = OnlineJob(
+    budget=1150,
+    window=6000,
+    epoch=2000,
+    method="hull",
+    rate=0.5,
+    move_cost=1.0,
+    name="bench-online",
+)
+
+
+def test_adaptive_beats_static_within_bounded_profiling_work(benchmark, results_dir):
+    workload = three_phase_pair(LENGTH_PER_PHASE, seed=SEED)
+    result = run_replay(workload, JOB)
+
+    # Headline: a strictly lower overall miss ratio than the static optimum,
+    # by a measurable margin (>= 1 point of miss ratio on this workload).
+    assert result.adaptive_miss_ratio < result.static_miss_ratio, (
+        f"adaptive ({result.adaptive_miss_ratio:.4f}) must beat the static "
+        f"whole-trace partition ({result.static_miss_ratio:.4f})"
+    )
+    assert result.win_vs_static >= 0.01, f"expected >= 1 point of miss-ratio win, got {result.win_vs_static:.4f}"
+
+    # The win is not bought with unbounded profiling: every windowed profile
+    # pass together touches at most 2x the references one exact whole-trace
+    # profile would process.
+    assert result.profiled_references <= 2 * result.accesses, (
+        f"windowed profiling touched {result.profiled_references} references, "
+        f"more than 2x the {result.accesses}-reference trace"
+    )
+
+    # The engine adapted for real, and the oracle brackets it from below.
+    assert result.reallocations >= 2
+    assert result.oracle_miss_ratio <= result.adaptive_miss_ratio
+
+    # Bit-identical across worker counts (workers only fan profile extraction).
+    parallel = run_replay(workload, JOB, workers=4)
+    assert parallel.summary() == result.summary()
+    assert parallel.rows() == result.rows()
+
+    rows = result.rows()
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Static vs adaptive vs oracle per epoch — {result.accesses} refs, "
+                f"3 phases, budget {JOB.budget}, window {JOB.window}, epoch {JOB.epoch}, rate {JOB.rate}"
+            ),
+        )
+    )
+    summary = result.summary()
+    print(format_table([summary], title="online adaptation scoreboard"))
+    write_csv(results_dir / "online_epoch_series.csv", rows)
+    write_csv(results_dir / "online_summary.csv", [summary])
+    assert np.isfinite([row["adaptive"] for row in rows]).all()
+
+    benchmark(run_replay, workload, JOB)
+
+
+def test_adaptation_win_grows_with_drift_amplitude(results_dir):
+    """The win over static scales with how asymmetric the phases are.
+
+    With ``large == small`` the workload is stationary in aggregate demand
+    and adaptation buys (almost) nothing; widening the seesaw opens the gap.
+    This pins the *mechanism*: the engine wins exactly when there is drift to
+    exploit, rather than through some static mis-configuration.
+    """
+    rows = []
+    for large, small in ((575, 575), (700, 450), (900, 250)):
+        workload = three_phase_pair(8000, large=large, small=small, seed=SEED)
+        result = run_replay(workload, JOB)
+        rows.append(
+            {
+                "large": large,
+                "small": small,
+                "static": result.static_miss_ratio,
+                "adaptive": result.adaptive_miss_ratio,
+                "oracle": result.oracle_miss_ratio,
+                "win_vs_static": result.win_vs_static,
+                "reallocations": result.reallocations,
+            }
+        )
+    # the widest seesaw must show a clearly larger win than the stationary one
+    assert rows[-1]["win_vs_static"] > rows[0]["win_vs_static"]
+    assert rows[-1]["win_vs_static"] > 0.0
+
+    print()
+    print(format_table(rows, title="adaptation win vs drift amplitude (working-set seesaw width)"))
+    write_csv(results_dir / "online_win_by_drift.csv", rows)

@@ -51,19 +51,44 @@ class DiscretizedMRC:
     unit: int
     accesses: int
 
+    def __post_init__(self):
+        misses = np.asarray(self.misses, dtype=np.float64)
+        if misses.ndim != 1 or misses.size == 0:
+            raise ValueError("misses must be a non-empty 1-D array")
+        if int(self.unit) < 1:
+            raise ValueError(f"unit must be >= 1, got {self.unit}")
+        if int(self.accesses) < 1:
+            raise ValueError(f"accesses must be >= 1, got {self.accesses}")
+        object.__setattr__(self, "misses", misses)
+
     @property
     def max_units(self) -> int:
         """Largest useful allocation in units (beyond it the curve is flat)."""
         return int(self.misses.size - 1)
 
+    def _index(self, units: int) -> int:
+        """Clamp an allocation to the curve, rejecting negative allocations.
+
+        Without the explicit check a negative allocation would silently wrap
+        to the *end* of the miss array (Python negative indexing) and read as
+        a fully-provisioned tenant — the exact opposite of an empty one.
+        """
+        units = int(units)
+        if units < 0:
+            raise ValueError(f"units must be >= 0, got {units}")
+        return min(units, self.max_units)
+
     def miss_ratio_at(self, units: int) -> float:
-        """Miss ratio at an allocation of ``units`` units (clamped to the curve)."""
-        index = min(int(units), self.max_units)
-        return float(self.misses[index]) / self.accesses
+        """Miss ratio at an allocation of ``units`` units (clamped to the curve).
+
+        ``units == 0`` reads the empty-partition point (every access misses);
+        allocations beyond :attr:`max_units` clamp to the curve's flat tail.
+        """
+        return float(self.misses[self._index(units)]) / self.accesses
 
     def misses_at(self, units: int) -> float:
         """Expected miss count at an allocation of ``units`` units (clamped)."""
-        return float(self.misses[min(int(units), self.max_units)])
+        return float(self.misses[self._index(units)])
 
 
 def discretize_curve(curve: MissRatioCurve, budget: int, *, unit: int = 1) -> DiscretizedMRC:

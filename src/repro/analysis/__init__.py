@@ -17,6 +17,7 @@ from .experiments import (
     run_matrix_reuse,
     run_miss_integral,
     run_ml_schedule,
+    run_online_adaptation,
     run_partition_comparison,
     run_policy_ablation,
     run_policy_sweep,
@@ -43,6 +44,7 @@ __all__ = [
     "run_matrix_reuse",
     "run_miss_integral",
     "run_ml_schedule",
+    "run_online_adaptation",
     "run_partition_comparison",
     "run_policy_ablation",
     "run_policy_sweep",

@@ -49,6 +49,10 @@ class MissRatioCurve:
     ratios: tuple[float, ...]
     accesses: int
 
+    def __post_init__(self):
+        if not self.ratios:
+            raise ValueError("a miss-ratio curve needs at least one cache size")
+
     @property
     def max_cache_size(self) -> int:
         """Number of cache sizes the curve covers."""

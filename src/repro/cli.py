@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Installed as ``python -m repro`` (or the ``repro`` console script); eight
+Installed as ``python -m repro`` (or the ``repro`` console script); nine
 subcommands cover the common workflows:
 
 ``analyze``
@@ -31,6 +31,14 @@ subcommands cover the common workflows:
     ``--method greedy|dp|hull`` allocates the ``--budget``, and the shared
     cache is simulated both partitioned and unpartitioned to report the
     predicted vs. simulated miss ratios and the partitioning win.
+``online``
+    Replay a seeded drifting multi-tenant workload through the
+    :mod:`repro.online` adaptive re-partitioning engine: windowed/decayed
+    SHARDS profiles (``--window``, ``--decay``, ``--rate``) refreshed every
+    ``--epoch`` events, phase-change detection, and move-cost-gated
+    re-allocation (``--method``, ``--move-cost``), reporting the per-epoch
+    miss-ratio series of static vs. adaptive vs. oracle-per-phase
+    partitioning.
 ``chain``
     Run ChainFind on ``S_m`` with a chosen labeling and print the tie
     statistics (the Figure 2 measurement for a single size).
@@ -54,6 +62,7 @@ Examples
     python -m repro sweep big.trace --policies lru,fifo,random --capacities pow2
     python -m repro sweep big.trace --policies lru --capacities 64:4096:64 --csv sweep.csv
     python -m repro partition --tenants zipf,sawtooth:items=4000,stream:n=2000 --budget 2048 --method hull
+    python -m repro online --length 6000 --budget 1150 --window 6000 --epoch 2000 --rate 0.5
     python -m repro chain 8 --labeling miss-ratio
     python -m repro experiment fig1
     python -m repro experiment sampling
@@ -385,6 +394,74 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_online(args: argparse.Namespace) -> int:
+    from .analysis.reporting import format_table, write_csv
+    from .online.replay import OnlineJob, run_replay
+    from .trace.drift import tenant_churn, three_phase_pair
+
+    try:
+        if args.workload == "three-phase":
+            workload = three_phase_pair(args.length, seed=args.seed)
+        else:
+            workload = tenant_churn(args.length, seed=args.seed)
+        job = OnlineJob(
+            budget=args.budget,
+            window=args.window,
+            epoch=args.epoch,
+            method=args.method,
+            decay=args.decay,
+            rate=args.rate,
+            move_cost=args.move_cost,
+            threshold=args.threshold,
+            hysteresis=args.hysteresis,
+            realloc_epochs=args.realloc_epochs,
+            unit=args.unit,
+            profile_seed=args.profile_seed,
+            name=args.workload,
+        )
+        result = run_replay(workload, job, workers=args.workers)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    rows = result.rows()
+    summary = result.summary()
+    if args.csv:
+        total_row = dict(summary)
+        total_row["epoch"] = "TOTAL"
+        total_row["allocation"] = "/".join(str(c) for c in result.final_allocation)
+        path = write_csv(args.csv, rows + [total_row])
+        print(f"wrote {len(rows) + 1} rows to {path}")
+    else:
+        print(
+            format_table(
+                rows,
+                title=(
+                    f"online --method {job.method} — {result.accesses} accesses, "
+                    f"budget {result.budget}, tenants {'/'.join(result.tenants)}"
+                ),
+            )
+        )
+    print(
+        format_table(
+            [
+                {
+                    "static": summary["static"],
+                    "adaptive": summary["adaptive"],
+                    "oracle": summary["oracle"],
+                    "win_vs_static": summary["win_vs_static"],
+                    "regret_vs_oracle": summary["regret_vs_oracle"],
+                    "reallocations": summary["reallocations"],
+                    "phase_changes": summary["phase_changes"],
+                    "profiled_references": summary["profiled_references"],
+                }
+            ],
+            title="overall miss ratios (static vs adaptive vs oracle-per-phase)",
+        )
+    )
+    return 0
+
+
 def _cmd_chain(args: argparse.Namespace) -> int:
     from .analysis.reporting import format_table
     from .core.chainfind import chain_find
@@ -440,6 +517,7 @@ _EXPERIMENTS = {
     "ml-schedule": ("run_ml_schedule", {}),
     "sampling": ("run_sampling_ablation", {}),
     "partition": ("run_partition_comparison", {}),
+    "online-adaptation": ("run_online_adaptation", {}),
 }
 
 
@@ -584,6 +662,46 @@ def build_parser() -> argparse.ArgumentParser:
     partition.add_argument("--workers", type=int, default=1, help="process pool size for per-tenant profiling")
     partition.add_argument("--csv", default=None, help="write per-tenant rows plus a TOTAL row to this CSV file")
     partition.set_defaults(func=_cmd_partition)
+
+    online = subparsers.add_parser("online", help="adaptive re-partitioning on a drifting multi-tenant workload")
+    online.add_argument(
+        "--workload",
+        choices=["three-phase", "churn"],
+        default="three-phase",
+        help="drifting workload preset: 3-phase working-set seesaw, or tenant arrival/departure churn",
+    )
+    online.add_argument(
+        "--length",
+        type=int,
+        default=6000,
+        help="per-tenant references per phase (a composed phase spans ~2x this with both preset tenants active)",
+    )
+    online.add_argument("--budget", type=int, required=True, help="shared cache capacity in blocks")
+    online.add_argument("--window", type=int, required=True, help="windowed-profiler span in composed events")
+    online.add_argument("--epoch", type=int, required=True, help="re-profiling period in composed events")
+    online.add_argument(
+        "--method",
+        choices=["greedy", "dp", "hull"],
+        default="hull",
+        help="allocator re-run on every evaluation",
+    )
+    online.add_argument("--decay", type=float, default=0.0, help="exponential decay rate of the windowed profiles")
+    online.add_argument("--rate", type=float, default=1.0, help="SHARDS sampling rate of the windowed profiles")
+    online.add_argument("--move-cost", type=float, default=1.0, help="warm-up misses charged per moved block")
+    online.add_argument("--threshold", type=float, default=0.03, help="phase-detector curve-distance threshold")
+    online.add_argument("--hysteresis", type=int, default=1, help="consecutive off-reference windows before a flag")
+    online.add_argument(
+        "--realloc-epochs",
+        type=int,
+        default=4,
+        help="fixed re-allocation cadence; between these epochs only a phase-change flag consults the controller",
+    )
+    online.add_argument("--unit", type=int, default=1, help="allocation granularity in blocks")
+    online.add_argument("--seed", type=int, default=7, help="seed of the drifting workload")
+    online.add_argument("--profile-seed", type=int, default=0, help="hash seed of the windowed SHARDS sampler")
+    online.add_argument("--workers", type=int, default=1, help="process pool size (never changes the results)")
+    online.add_argument("--csv", default=None, help="write per-epoch rows plus a TOTAL row to this CSV file")
+    online.set_defaults(func=_cmd_online)
 
     chain = subparsers.add_parser("chain", help="run ChainFind on S_m")
     chain.add_argument("m", type=int, help="number of data items")

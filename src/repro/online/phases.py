@@ -1,0 +1,96 @@
+"""Phase-change detection from successive windowed miss-ratio curves.
+
+Real workloads are piecewise-stationary: long regimes with a stable MRC
+separated by abrupt shifts (working-set migration, popularity drift, tenant
+churn).  :class:`PhaseChangeDetector` turns a stream of windowed curves (from
+:mod:`repro.online.windowed`) into a stream of *regime shift* flags: it keeps
+the curve observed at the start of the current regime as the reference,
+measures the mean absolute miss-ratio distance of every new curve against it
+(:func:`repro.profiling.accuracy.compare_curves`), and declares a phase
+change only after the distance has exceeded the threshold for ``hysteresis``
+consecutive observations — one noisy window cannot trigger a re-partition,
+but a persistent shift is flagged within ``hysteresis`` epochs.
+
+On a flagged change the detector re-anchors: the current curve becomes the
+new reference and the counter resets, so consecutive distinct regimes each
+produce exactly one flag.  The detector is deterministic and carries no
+clock; callers decide how often to feed it (typically once per epoch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cache.mrc import MissRatioCurve
+from ..profiling.accuracy import compare_curves
+
+__all__ = ["PhaseObservation", "PhaseChangeDetector"]
+
+
+@dataclass(frozen=True)
+class PhaseObservation:
+    """Outcome of feeding one windowed curve to the detector."""
+
+    distance: float
+    exceeded: bool
+    changed: bool
+
+
+class PhaseChangeDetector:
+    """Hysteresis-filtered regime-shift detector over windowed MRCs.
+
+    Parameters
+    ----------
+    threshold:
+        Mean-absolute-error distance (in miss-ratio units) above which a
+        window is considered *off-reference*.
+    hysteresis:
+        Number of consecutive off-reference windows required before a phase
+        change is declared.  ``1`` flags on the first excursion.
+
+    Examples
+    --------
+    >>> from repro.cache.mrc import MissRatioCurve
+    >>> flat = MissRatioCurve(ratios=(0.5, 0.5), accesses=10)
+    >>> steep = MissRatioCurve(ratios=(0.9, 0.8), accesses=10)
+    >>> detector = PhaseChangeDetector(threshold=0.1, hysteresis=2)
+    >>> detector.observe(flat).changed      # first curve anchors the reference
+    False
+    >>> detector.observe(steep).changed     # 1st excursion: armed, not flagged
+    False
+    >>> detector.observe(steep).changed     # 2nd consecutive excursion: flagged
+    True
+    >>> detector.observe(steep).changed     # re-anchored on the new regime
+    False
+    """
+
+    def __init__(self, *, threshold: float = 0.05, hysteresis: int = 2):
+        if float(threshold) <= 0.0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if int(hysteresis) < 1:
+            raise ValueError(f"hysteresis must be >= 1, got {hysteresis}")
+        self.threshold = float(threshold)
+        self.hysteresis = int(hysteresis)
+        self._reference: MissRatioCurve | None = None
+        self._streak = 0
+        self.changes = 0
+
+    @property
+    def reference(self) -> MissRatioCurve | None:
+        """The curve anchoring the current regime (``None`` before the first observation)."""
+        return self._reference
+
+    def observe(self, curve: MissRatioCurve) -> PhaseObservation:
+        """Feed one windowed curve; report its distance and whether a change fired."""
+        if self._reference is None:
+            self._reference = curve
+            return PhaseObservation(distance=0.0, exceeded=False, changed=False)
+        distance = compare_curves(curve, self._reference).mean_absolute_error
+        exceeded = distance > self.threshold
+        self._streak = self._streak + 1 if exceeded else 0
+        if self._streak >= self.hysteresis:
+            self._reference = curve
+            self._streak = 0
+            self.changes += 1
+            return PhaseObservation(distance=distance, exceeded=True, changed=True)
+        return PhaseObservation(distance=distance, exceeded=exceeded, changed=False)

@@ -1,0 +1,474 @@
+"""Streaming replay: static vs. adaptive vs. oracle-per-phase partitioning.
+
+:func:`run_replay` is the top of the online stack.  It feeds a drifting
+multi-tenant trace (:class:`repro.trace.drift.DriftingWorkload`)
+event-by-event through three partitioned LRU caches at once:
+
+``static``
+    The whole-trace optimum: per-tenant *exact* MRCs of the full trace,
+    allocated once up front (what the offline :mod:`repro.alloc` pipeline
+    would deploy) and never changed.
+``adaptive``
+    The online engine: per-tenant :class:`~repro.online.windowed.WindowedShardsSketch`
+    profiles refreshed every ``epoch`` events, per-tenant
+    :class:`~repro.online.phases.PhaseChangeDetector` flags, and a
+    :class:`~repro.online.controller.ReallocationController` that re-runs the
+    allocator and applies the proposal when the predicted gain beats the
+    move-cost penalty.  Resizes take effect immediately: a shrunk partition
+    evicts its least-recent blocks and a grown one warms up through ordinary
+    misses, so adaptation pays its real warm-up cost in the measured series.
+``oracle``
+    The upper bound: exact per-phase MRCs allocated at the *true* phase
+    boundaries (which only the generator knows).
+
+All three run in the same event loop, so their per-epoch miss-ratio series
+are directly comparable.  ``workers`` fans the heavy up-front exact profile
+extractions (whole-trace and per-phase) across a process pool — the tiny
+per-epoch windowed extractions always run inline — and every quantity is a
+pure function of the workload and the job, so results are bit-identical for
+every worker count (asserted in ``tests/online/test_replay.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..alloc.curves import DiscretizedMRC, discretize_curve
+from ..cache.mrc import mrc_from_trace
+from ..profiling.pool import check_workers, pool_map
+from ..trace.drift import DriftingWorkload
+from .controller import ReallocationController
+from .phases import PhaseChangeDetector
+from .windowed import WindowedShardsSketch, WindowSnapshot, curve_of_snapshot
+
+__all__ = ["OnlineJob", "EpochStats", "ReplayResult", "PartitionedLRU", "run_replay"]
+
+
+@dataclass(frozen=True)
+class OnlineJob:
+    """Configuration of one online re-partitioning run.
+
+    Parameters
+    ----------
+    budget:
+        Shared cache capacity in blocks.
+    window:
+        Windowed-profiler span in *composed-trace* events; the replay engine
+        keeps every tenant's sketch on the shared timeline, so a tenant's
+        window covers roughly ``window × its access share`` own references.
+    epoch:
+        Re-profiling period in composed-trace events; profiles are refreshed
+        and the controller consulted at every multiple of ``epoch``.
+    method:
+        Allocator (``greedy`` | ``dp`` | ``hull``), shared by all three
+        systems.
+    decay, rate, profile_seed:
+        Windowed-sketch knobs (exponential decay rate, spatial sampling rate,
+        hash seed); see :class:`~repro.online.windowed.WindowedShardsSketch`.
+    move_cost:
+        Warm-up misses charged per block that changes hands on a resize.
+    horizon_epochs:
+        How many epochs an applied re-partition is assumed to stay useful;
+        scales the controller's predicted gain against the move cost.
+    threshold, hysteresis:
+        Phase-change detector knobs; a flagged change consults the
+        controller immediately.  The default hysteresis of 1 reacts within
+        one epoch — raise it when regimes are long and windows noisy enough
+        that single-epoch excursions should not trigger a consult.
+    realloc_epochs:
+        Fixed re-allocation cadence: without a phase-change flag the
+        controller is consulted only every ``realloc_epochs``-th epoch, so
+        the detector knobs genuinely gate how fast churn can happen.
+    unit:
+        Allocation granularity in blocks.
+    """
+
+    budget: int
+    window: int
+    epoch: int
+    method: str = "hull"
+    decay: float = 0.0
+    rate: float = 1.0
+    move_cost: float = 1.0
+    horizon_epochs: int = 8
+    threshold: float = 0.03
+    hysteresis: int = 1
+    realloc_epochs: int = 4
+    unit: int = 1
+    profile_seed: int = 0
+    name: str = "online"
+
+    def __post_init__(self):
+        for field_name in ("budget", "window", "epoch", "horizon_epochs", "realloc_epochs", "unit", "hysteresis"):
+            if int(getattr(self, field_name)) < 1:
+                raise ValueError(f"{field_name} must be >= 1, got {getattr(self, field_name)}")
+        if int(self.unit) > int(self.budget):
+            raise ValueError(f"unit ({self.unit}) cannot exceed the budget ({self.budget})")
+        # Fail fast on the knobs otherwise only checked deep inside the run,
+        # after the (expensive) exact whole-trace profiling already happened.
+        if self.method not in ("greedy", "dp", "hull"):
+            raise ValueError(f"method must be one of ('greedy', 'dp', 'hull'), got {self.method!r}")
+        if not 0.0 < float(self.rate) <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {self.rate}")
+        if float(self.decay) < 0.0:
+            raise ValueError(f"decay must be >= 0, got {self.decay}")
+        if float(self.move_cost) < 0.0:
+            raise ValueError(f"move_cost must be >= 0, got {self.move_cost}")
+        if float(self.threshold) <= 0.0:
+            raise ValueError(f"threshold must be positive, got {self.threshold}")
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Per-epoch measurement of the three systems.
+
+    ``phase`` is the workload phase containing the epoch's *last* event (an
+    epoch that straddles a boundary is attributed to the regime it ends in).
+    """
+
+    index: int
+    start: int
+    end: int
+    phase: int
+    static_miss_ratio: float
+    adaptive_miss_ratio: float
+    oracle_miss_ratio: float
+    distance: float
+    phase_change: bool
+    reallocated: bool
+    moved_blocks: int
+    adaptive_allocation: tuple[int, ...]
+
+    def row(self) -> dict:
+        """Flat dictionary for tables and CSV export."""
+        return {
+            "epoch": self.index,
+            "start": self.start,
+            "end": self.end,
+            "phase": self.phase,
+            "static": self.static_miss_ratio,
+            "adaptive": self.adaptive_miss_ratio,
+            "oracle": self.oracle_miss_ratio,
+            "distance": self.distance,
+            "phase_change": self.phase_change,
+            "reallocated": self.reallocated,
+            "moved_blocks": self.moved_blocks,
+            "allocation": "/".join(str(c) for c in self.adaptive_allocation),
+        }
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of one :func:`run_replay` call."""
+
+    name: str
+    accesses: int
+    tenants: tuple[str, ...]
+    budget: int
+    epochs: tuple[EpochStats, ...]
+    static_miss_ratio: float
+    adaptive_miss_ratio: float
+    oracle_miss_ratio: float
+    static_allocation: tuple[int, ...]
+    final_allocation: tuple[int, ...]
+    reallocations: int
+    phase_changes: int
+    profiled_references: int
+
+    @property
+    def win_vs_static(self) -> float:
+        """Overall miss-ratio reduction of adaptive over static (positive = win)."""
+        return self.static_miss_ratio - self.adaptive_miss_ratio
+
+    @property
+    def regret_vs_oracle(self) -> float:
+        """Overall miss-ratio gap between adaptive and the per-phase oracle."""
+        return self.adaptive_miss_ratio - self.oracle_miss_ratio
+
+    def rows(self) -> list[dict]:
+        """Per-epoch rows for tables and CSV export."""
+        return [epoch.row() for epoch in self.epochs]
+
+    def summary(self) -> dict:
+        """One aggregate row (the adaptation scoreboard)."""
+        return {
+            "job": self.name,
+            "accesses": self.accesses,
+            "budget": self.budget,
+            "static": self.static_miss_ratio,
+            "adaptive": self.adaptive_miss_ratio,
+            "oracle": self.oracle_miss_ratio,
+            "win_vs_static": self.win_vs_static,
+            "regret_vs_oracle": self.regret_vs_oracle,
+            "reallocations": self.reallocations,
+            "phase_changes": self.phase_changes,
+            "profiled_references": self.profiled_references,
+        }
+
+
+class PartitionedLRU:
+    """Per-tenant LRU partitions of one shared cache, resizable online.
+
+    Each tenant owns an isolated LRU partition of ``capacities[t]`` blocks.
+    :meth:`resize` applies a new split immediately: a shrunk partition evicts
+    from its least-recently-used end (so the move's warm-up cost surfaces as
+    ordinary misses on the next accesses), a grown one simply gains headroom.
+    A capacity of 0 bypasses the cache entirely (every access misses).
+    """
+
+    def __init__(self, capacities: Sequence[int]):
+        self._capacities = [int(c) for c in capacities]
+        if any(c < 0 for c in self._capacities):
+            raise ValueError("partition capacities must be >= 0")
+        self._entries: list[OrderedDict[int, None]] = [OrderedDict() for _ in self._capacities]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacities(self) -> tuple[int, ...]:
+        """Current per-tenant partition sizes in blocks."""
+        return tuple(self._capacities)
+
+    def access(self, tenant: int, item: int) -> bool:
+        """Access ``item`` in tenant ``tenant``'s partition; ``True`` on a hit."""
+        capacity = self._capacities[tenant]
+        entries = self._entries[tenant]
+        if item in entries:
+            entries.move_to_end(item)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if capacity == 0:
+            return False
+        if len(entries) >= capacity:
+            entries.popitem(last=False)
+        entries[item] = None
+        return False
+
+    def resize(self, capacities: Sequence[int]) -> None:
+        """Apply a new split; shrunk partitions evict their LRU blocks now."""
+        capacities = [int(c) for c in capacities]
+        if len(capacities) != len(self._capacities):
+            raise ValueError(f"got {len(capacities)} capacities for {len(self._capacities)} partitions")
+        if any(c < 0 for c in capacities):
+            raise ValueError("partition capacities must be >= 0")
+        for entries, capacity in zip(self._entries, capacities):
+            while len(entries) > capacity:
+                entries.popitem(last=False)
+        self._capacities = capacities
+
+    @property
+    def miss_ratio(self) -> float:
+        """Miss ratio over everything accessed so far (0 when nothing was)."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+_IDLE_CURVE_ACCESSES = 1
+
+
+def _idle_curve(unit: int) -> DiscretizedMRC:
+    """Zero-demand curve for a tenant with no (sampled) traffic: never allocate."""
+    return DiscretizedMRC(misses=np.zeros(1, dtype=np.float64), unit=unit, accesses=_IDLE_CURVE_ACCESSES)
+
+
+def _exact_discretized(task: tuple[np.ndarray, int, int]) -> DiscretizedMRC:
+    """Pool worker: exact whole-stream MRC, discretized to allocation units."""
+    stream, budget, unit = task
+    if stream.size == 0:
+        return _idle_curve(unit)
+    curve = mrc_from_trace(stream, max_cache_size=budget)
+    return discretize_curve(curve, budget, unit=unit)
+
+
+def _windowed_profile(task: tuple[WindowSnapshot, int, int]):
+    """Pool worker: windowed-sketch curve (for the detector) plus its discretization.
+
+    Returns ``(curve, discretized)``; ``curve`` is ``None`` for a tenant whose
+    sampled window is empty (no traffic), which maps to the idle zero-demand
+    discretization so the allocator starves it.
+    """
+    snapshot, budget, unit = task
+    if snapshot.sampled == 0:
+        return None, _idle_curve(unit)
+    curve = curve_of_snapshot(snapshot, max_cache_size=budget)
+    return curve, discretize_curve(curve, budget, unit=unit)
+
+
+def _initial_split(num_tenants: int, budget: int, unit: int) -> tuple[int, ...]:
+    """Deterministic cold-start split: equal units, remainder to low indices."""
+    units = budget // unit
+    base, extra = divmod(units, num_tenants)
+    return tuple((base + (1 if t < extra else 0)) * unit for t in range(num_tenants))
+
+
+def run_replay(workload: DriftingWorkload, job: OnlineJob, *, workers: int = 1) -> ReplayResult:
+    """Replay a drifting workload under static, adaptive and oracle partitioning."""
+    workers = check_workers(workers)
+    composed = workload.composed
+    items = composed.trace.accesses
+    ids = composed.tenant_ids
+    n = int(items.size)
+    num_tenants = composed.num_tenants
+    budget, unit = int(job.budget), int(job.unit)
+
+    controller = ReallocationController(budget=budget, method=job.method, unit=unit, move_cost=job.move_cost)
+
+    # Whole-trace (static) and per-phase (oracle) exact profiles, fanned over
+    # the pool; both are method-independent inputs computed up front.
+    static_tasks = [(composed.tenant_trace(t), budget, unit) for t in range(num_tenants)]
+    phase_tasks = [
+        (workload.tenant_phase_trace(t, p), budget, unit)
+        for p in range(workload.num_phases)
+        for t in range(num_tenants)
+    ]
+    static_curves = pool_map(_exact_discretized, static_tasks, workers=workers)
+    phase_curves = pool_map(_exact_discretized, phase_tasks, workers=workers)
+    static_allocation = controller.propose(static_curves)
+    oracle_allocations = []
+    for p in range(workload.num_phases):
+        oracle_allocations.append(controller.propose(phase_curves[p * num_tenants : (p + 1) * num_tenants]))
+
+    static_sim = PartitionedLRU(static_allocation)
+    oracle_sim = PartitionedLRU(oracle_allocations[0])
+    adaptive_sim = PartitionedLRU(_initial_split(num_tenants, budget, unit))
+    sketches = [
+        WindowedShardsSketch(window=job.window, decay=job.decay, rate=job.rate, seed=job.profile_seed)
+        for _ in range(num_tenants)
+    ]
+    detectors = []
+    for _ in range(num_tenants):
+        detectors.append(PhaseChangeDetector(threshold=job.threshold, hysteresis=job.hysteresis))
+
+    # Stops are every epoch end plus every phase boundary (oracle resizes
+    # there); chunks between stops are processed with batched sketch updates.
+    epoch_ends = set(range(job.epoch, n, job.epoch)) | {n}
+    stops = sorted(epoch_ends | {b for b in workload.boundaries if b > 0})
+
+    epochs: list[EpochStats] = []
+    profiled_references = 0
+    reallocations = 0
+    phase_changes = 0
+    epoch_index = 0
+    epoch_start = 0
+    counters = {"static": [0, 0], "adaptive": [0, 0], "oracle": [0, 0]}  # [hits, misses] this epoch
+
+    def run_chunk(start: int, end: int) -> None:
+        """Feed events ``start .. end`` to all three simulators and the sketches."""
+        chunk_items = items[start:end]
+        chunk_ids = ids[start:end]
+        # The per-event loop is the replay's hot path; plain Python ints
+        # (one tolist() per chunk) hash and compare much faster in the
+        # OrderedDict partitions than per-event numpy scalar unboxing.
+        event_pairs = list(zip(chunk_ids.tolist(), chunk_items.tolist()))
+        for sim, key in ((static_sim, "static"), (adaptive_sim, "adaptive"), (oracle_sim, "oracle")):
+            hits_before, misses_before = sim.hits, sim.misses
+            access = sim.access
+            for tenant, item in event_pairs:
+                access(tenant, item)
+            counters[key][0] += sim.hits - hits_before
+            counters[key][1] += sim.misses - misses_before
+        for t in range(num_tenants):
+            tenant_items = chunk_items[chunk_ids == t]
+            sketches[t].update(tenant_items)
+            # Keep every sketch on the composed timeline: advancing past the
+            # other tenants' events makes windows age in shared time, so a
+            # tenant that goes quiet drains out of its own window.
+            sketches[t].advance(int(chunk_items.size - tenant_items.size))
+
+    position = 0
+    phase = 0
+    settling = False
+    for stop in stops:
+        run_chunk(position, stop)
+        position = stop
+        if phase + 1 < workload.num_phases and position >= workload.boundaries[phase + 1]:
+            phase += 1
+            oracle_sim.resize(oracle_allocations[phase])
+        if position not in epoch_ends:
+            continue
+
+        # Epoch end: refresh windowed profiles, consult detector + controller.
+        # The per-epoch extractions are tiny (the sampled window buffers), so
+        # they run inline — forking a pool every epoch would cost more than
+        # the two stack-distance passes it parallelises; `workers` fans only
+        # the heavy up-front exact profiling above.
+        snapshots = [sketch.snapshot() for sketch in sketches]
+        profiled_references += sum(snap.sampled for snap in snapshots)
+        profiles = [_windowed_profile((snap, budget, unit)) for snap in snapshots]
+        window_curves = [discretized for _curve, discretized in profiles]
+        distance = 0.0
+        changed = False
+        for t, (curve, _discretized) in enumerate(profiles):
+            if curve is None:
+                continue
+            observation = detectors[t].observe(curve)
+            distance = max(distance, observation.distance)
+            changed = changed or observation.changed
+        if changed:
+            phase_changes += 1
+        # The controller is consulted on a phase-change flag, on the fixed
+        # re-allocation cadence, or while *settling* — refining after a flag
+        # or an applied move, when the window is still absorbing the new
+        # regime.  Quiet unflagged epochs between cadence points never
+        # re-partition, so threshold/hysteresis genuinely gate churn.
+        applied = False
+        moved_blocks = 0
+        if changed or settling or epoch_index % job.realloc_epochs == 0:
+            decision = controller.decide(
+                window_curves,
+                adaptive_sim.capacities,
+                horizon=job.epoch * job.horizon_epochs,
+            )
+            if decision.applied:
+                adaptive_sim.resize(decision.allocation)
+                reallocations += 1
+                applied = True
+                moved_blocks = decision.moved_blocks
+            settling = applied or changed
+
+        total = position - epoch_start
+        # Label the epoch with the phase of its *last event*: when an epoch
+        # ends exactly on a boundary, `phase` has already advanced to the
+        # next regime even though every recorded event belongs to the old one.
+        last_event_phase = int(np.searchsorted(workload.boundaries, position - 1, side="right")) - 1
+        epochs.append(
+            EpochStats(
+                index=epoch_index,
+                start=epoch_start,
+                end=position,
+                phase=last_event_phase,
+                static_miss_ratio=counters["static"][1] / total,
+                adaptive_miss_ratio=counters["adaptive"][1] / total,
+                oracle_miss_ratio=counters["oracle"][1] / total,
+                distance=distance,
+                phase_change=changed,
+                reallocated=applied,
+                moved_blocks=moved_blocks,
+                adaptive_allocation=adaptive_sim.capacities,
+            )
+        )
+        epoch_index += 1
+        epoch_start = position
+        for key in counters:
+            counters[key] = [0, 0]
+
+    return ReplayResult(
+        name=job.name,
+        accesses=n,
+        tenants=composed.names,
+        budget=budget,
+        epochs=tuple(epochs),
+        static_miss_ratio=static_sim.miss_ratio,
+        adaptive_miss_ratio=adaptive_sim.miss_ratio,
+        oracle_miss_ratio=oracle_sim.miss_ratio,
+        static_allocation=tuple(static_allocation),
+        final_allocation=adaptive_sim.capacities,
+        reallocations=reallocations,
+        phase_changes=phase_changes,
+        profiled_references=profiled_references,
+    )

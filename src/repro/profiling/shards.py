@@ -46,9 +46,11 @@ from ..cache.stack_distance import stack_distance_histogram
 __all__ = [
     "HASH_SPACE",
     "spatial_hash",
+    "rate_threshold",
     "sample_trace",
     "adaptive_rate",
     "scaled_distance_histogram",
+    "histogram_to_mrc",
     "shards_mrc",
 ]
 
@@ -82,16 +84,27 @@ def spatial_hash(items: Sequence[int] | np.ndarray, seed: int = 0) -> np.ndarray
     return hashed & np.uint64(HASH_SPACE - 1)
 
 
+def rate_threshold(rate: float) -> int:
+    """Quantise a sampling rate to its integer hash threshold ``T`` (validated).
+
+    ``rate = T / HASH_SPACE``; every SHARDS consumer — the whole-trace
+    profiler here and the windowed sketches in :mod:`repro.online.windowed` —
+    must use this one quantisation so the same nominal rate always selects
+    the same item sub-population.
+    """
+    if not 0.0 < float(rate) <= 1.0:
+        raise ValueError(f"rate must be in (0, 1], got {rate}")
+    return max(1, int(round(float(rate) * HASH_SPACE)))
+
+
 def sample_trace(trace: Sequence[int] | np.ndarray, rate: float, *, seed: int = 0) -> tuple[np.ndarray, float]:
     """The spatially-sampled sub-trace and the effective sampling rate.
 
     ``rate`` is quantised to the ``HASH_SPACE`` grid; the returned effective
     rate is the one that must be used for distance rescaling.
     """
-    if not 0.0 < rate <= 1.0:
-        raise ValueError(f"rate must be in (0, 1], got {rate}")
     arr = np.asarray(trace)
-    threshold = max(1, int(round(rate * HASH_SPACE)))
+    threshold = rate_threshold(rate)
     mask = spatial_hash(arr, seed) < np.uint64(threshold)
     return arr[mask], threshold / HASH_SPACE
 
@@ -140,6 +153,34 @@ def scaled_distance_histogram(sub_trace: np.ndarray, effective_rate: float) -> t
     full = np.zeros(int(scaled.max()), dtype=np.float64)
     np.add.at(full, scaled - 1, hist.astype(np.float64))
     return full, cold, int(sub_trace.size)
+
+
+def histogram_to_mrc(
+    histogram: np.ndarray,
+    denominator: float,
+    accesses: int,
+    *,
+    max_cache_size: int | None = None,
+) -> MissRatioCurve:
+    """Normalise a corrected distance histogram into a monotone miss-ratio curve.
+
+    The shared tail of every SHARDS-style estimator — :func:`shards_mrc` here
+    and the windowed sketches in :mod:`repro.online.windowed` — so the
+    clamping/monotonisation convention cannot drift between them.
+    ``denominator`` is the reference mass the cumulative hit counts are
+    normalised by (expected sample size under the SHARDS-adj correction).
+    """
+    ratios = 1.0 - np.cumsum(histogram) / denominator
+    ratios = np.minimum.accumulate(np.clip(ratios, 0.0, 1.0))
+    curve = MissRatioCurve(ratios=tuple(float(x) for x in ratios), accesses=int(accesses))
+    if max_cache_size is not None:
+        from .accuracy import curve_values
+
+        curve = MissRatioCurve(
+            ratios=tuple(float(x) for x in curve_values(curve, max_cache_size)),
+            accesses=int(accesses),
+        )
+    return curve
 
 
 def shards_mrc(
@@ -206,15 +247,4 @@ def shards_mrc(
         denominator = expected_total
     else:
         denominator = float(sampled_total)
-
-    ratios = 1.0 - np.cumsum(pooled) / denominator
-    ratios = np.minimum.accumulate(np.clip(ratios, 0.0, 1.0))
-    curve = MissRatioCurve(ratios=tuple(float(x) for x in ratios), accesses=int(arr.size))
-    if max_cache_size is not None:
-        from .accuracy import curve_values
-
-        curve = MissRatioCurve(
-            ratios=tuple(float(x) for x in curve_values(curve, max_cache_size)),
-            accesses=int(arr.size),
-        )
-    return curve
+    return histogram_to_mrc(pooled, denominator, int(arr.size), max_cache_size=max_cache_size)

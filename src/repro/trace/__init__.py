@@ -43,6 +43,15 @@ from .decomposition import (
     prediction_error,
     retraversal_permutations,
 )
+from .drift import (
+    DriftingWorkload,
+    PhasedTrace,
+    compose_phases,
+    tenant_churn,
+    three_phase_pair,
+    working_set_migration,
+    zipf_alpha_drift,
+)
 from .io import read_npz, read_text, write_npz, write_text
 from .stats import TraceStats, locality_score, summarize
 from .tenancy import MultiTenantTrace, TenantSpec, compose_tenants
@@ -86,4 +95,11 @@ __all__ = [
     "MultiTenantTrace",
     "TenantSpec",
     "compose_tenants",
+    "DriftingWorkload",
+    "PhasedTrace",
+    "compose_phases",
+    "tenant_churn",
+    "three_phase_pair",
+    "working_set_migration",
+    "zipf_alpha_drift",
 ]

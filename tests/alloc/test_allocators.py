@@ -212,3 +212,41 @@ class TestDiscretizeCurve:
             discretize_curve(curve, budget=0)
         with pytest.raises(ValueError):
             discretize_curve(curve, budget=4, unit=0)
+
+
+class TestDiscretizedMRCBoundaries:
+    """Explicit boundary behaviour at capacity 0 and beyond the footprint."""
+
+    def test_clamps_beyond_max_units(self):
+        d = curve_from_misses([10.0, 4.0, 2.0])
+        assert d.misses_at(d.max_units) == d.misses_at(d.max_units + 1) == d.misses_at(10**9) == 2.0
+        assert d.miss_ratio_at(10**9) == pytest.approx(0.2)
+
+    def test_capacity_zero_reads_the_empty_partition_point(self):
+        d = curve_from_misses([10.0, 4.0, 2.0])
+        assert d.misses_at(0) == 10.0
+        assert d.miss_ratio_at(0) == 1.0
+
+    def test_negative_units_are_rejected_not_wrapped(self):
+        """Regression: a negative allocation used to wrap to the curve's *end*
+        (Python negative indexing) and read as a fully-provisioned tenant."""
+        d = curve_from_misses([10.0, 4.0, 2.0])
+        with pytest.raises(ValueError):
+            d.misses_at(-1)
+        with pytest.raises(ValueError):
+            d.miss_ratio_at(-1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            DiscretizedMRC(misses=np.zeros(0), unit=1, accesses=1)
+        with pytest.raises(ValueError):
+            DiscretizedMRC(misses=np.zeros((2, 2)), unit=1, accesses=1)
+        with pytest.raises(ValueError):
+            DiscretizedMRC(misses=np.ones(2), unit=0, accesses=1)
+        with pytest.raises(ValueError):
+            DiscretizedMRC(misses=np.ones(2), unit=1, accesses=0)
+
+    def test_single_point_curve_is_flat_everywhere(self):
+        d = DiscretizedMRC(misses=np.asarray([7.0]), unit=1, accesses=7)
+        assert d.max_units == 0
+        assert d.misses_at(0) == d.misses_at(5) == 7.0

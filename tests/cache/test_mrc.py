@@ -43,6 +43,35 @@ class TestMissRatioCurve:
         assert curve.footprint(0.95) == 1
         assert curve.footprint(0.1) is None
 
+    def test_boundary_capacity_zero_and_beyond_max_footprint(self):
+        """Explicit boundary behaviour: size 0 is rejected, sizes past the
+        curve clamp to the final (fully-fitting) value everywhere."""
+        curve = MissRatioCurve(ratios=(1.0, 0.5, 0.25), accesses=8)
+        with pytest.raises(ValueError):
+            curve[0]
+        with pytest.raises(ValueError):
+            curve[-3]
+        assert curve[curve.max_cache_size] == curve[curve.max_cache_size + 1] == curve[10**9] == 0.25
+
+    def test_footprint_boundary_targets(self):
+        curve = MissRatioCurve(ratios=(0.9, 0.6, 0.6, 0.2), accesses=10)
+        # target exactly on a plateau: the *smallest* size on it wins
+        assert curve.footprint(0.6) == 2
+        # every curve satisfies a target of 1.0 at the smallest size
+        assert curve.footprint(1.0) == 1
+        # targets below the curve's floor (beyond max footprint) are unreachable
+        assert curve.footprint(0.2) == 4
+        assert curve.footprint(0.19) is None
+        assert curve.footprint(-0.5) is None
+
+    def test_single_point_and_empty_curves(self):
+        single = MissRatioCurve(ratios=(0.75,), accesses=4)
+        assert single[1] == single[100] == 0.75
+        assert single.footprint(0.75) == 1
+        assert single.footprint(0.5) is None
+        with pytest.raises(ValueError):
+            MissRatioCurve(ratios=(), accesses=4)
+
     def test_max_cache_size_argument(self, rng):
         trace = zipfian_trace(100, 30, rng=rng).accesses
         curve = mrc_from_trace(trace, max_cache_size=7)

@@ -1,11 +1,33 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures and hypothesis profiles for the test-suite.
+
+Two hypothesis profiles are registered and selected via the
+``HYPOTHESIS_PROFILE`` environment variable (the CI ``tests`` job sets
+``ci``; the local default is ``dev``):
+
+``ci``
+    More examples per property (300) — the thorough differential sweep the
+    acceptance criteria are stated against.
+``dev``
+    Fewer examples (25) for a fast local loop.
+
+Both print the failure reproduction blob (``print_blob``) so a failing
+example's seed lands in the log and the run can be replayed exactly with
+``@reproduce_failure``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core import Permutation, all_permutations
+
+settings.register_profile("ci", max_examples=300, print_blob=True, deadline=None)
+settings.register_profile("dev", max_examples=25, print_blob=True, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -1,0 +1,72 @@
+"""Unit tests for the phase-change detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.mrc import MissRatioCurve
+from repro.online import PhaseChangeDetector, WindowedShardsSketch
+from repro.trace.drift import working_set_migration
+
+
+def flat_curve(level: float) -> MissRatioCurve:
+    return MissRatioCurve(ratios=(level, level, level), accesses=100)
+
+
+class TestDetectorMechanics:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PhaseChangeDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            PhaseChangeDetector(threshold=0.1, hysteresis=0)
+
+    def test_first_observation_anchors_reference(self):
+        detector = PhaseChangeDetector(threshold=0.1)
+        observation = detector.observe(flat_curve(0.5))
+        assert not observation.changed and observation.distance == 0.0
+        assert detector.reference is not None
+
+    def test_hysteresis_requires_consecutive_excursions(self):
+        detector = PhaseChangeDetector(threshold=0.1, hysteresis=3)
+        detector.observe(flat_curve(0.2))
+        assert not detector.observe(flat_curve(0.8)).changed
+        assert not detector.observe(flat_curve(0.8)).changed
+        assert detector.observe(flat_curve(0.8)).changed
+        assert detector.changes == 1
+
+    def test_excursion_streak_resets_on_return(self):
+        detector = PhaseChangeDetector(threshold=0.1, hysteresis=2)
+        detector.observe(flat_curve(0.2))
+        assert not detector.observe(flat_curve(0.8)).changed  # armed
+        assert not detector.observe(flat_curve(0.2)).changed  # back on reference
+        assert not detector.observe(flat_curve(0.8)).changed  # armed again, not flagged
+        assert detector.changes == 0
+
+    def test_reanchors_after_change(self):
+        detector = PhaseChangeDetector(threshold=0.1, hysteresis=1)
+        detector.observe(flat_curve(0.2))
+        assert detector.observe(flat_curve(0.8)).changed
+        assert not detector.observe(flat_curve(0.8)).changed
+        assert detector.observe(flat_curve(0.2)).changed
+        assert detector.changes == 2
+
+    def test_stationary_noise_below_threshold_never_flags(self):
+        detector = PhaseChangeDetector(threshold=0.2, hysteresis=1)
+        for level in (0.5, 0.52, 0.48, 0.51, 0.5):
+            assert not detector.observe(flat_curve(level)).changed
+
+
+class TestDetectorOnWindowedProfiles:
+    def test_flags_working_set_migration_exactly_once(self):
+        """A windowed profile stream over a migrating trace flags one change."""
+        phased = working_set_migration(3000, [(0, 100), (500, 400)], seed=3)
+        sketch = WindowedShardsSketch(window=1500, rate=1.0)
+        detector = PhaseChangeDetector(threshold=0.08, hysteresis=1)
+        flags = []
+        trace = phased.trace.accesses
+        for start in range(0, trace.size, 500):
+            sketch.update(trace[start : start + 500])
+            flags.append(detector.observe(sketch.curve()).changed)
+        assert sum(flags) == 1
+        # the flag lands after the boundary at position 3000 (epoch index 6+)
+        assert flags.index(True) >= 6

@@ -223,6 +223,69 @@ class TestPartition:
         assert "unit" in capsys.readouterr().err
 
 
+class TestOnline:
+    ARGS = ["online", "--length", "2000", "--budget", "600", "--window", "2000",
+            "--epoch", "1000", "--rate", "0.5"]
+
+    def test_online_prints_epoch_series_and_scoreboard(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "online --method hull" in out
+        assert "static vs adaptive vs oracle" in out
+        assert "win_vs_static" in out
+
+    def test_online_csv_has_epoch_rows_and_total(self, tmp_path):
+        csv_path = tmp_path / "online.csv"
+        assert main([*self.ARGS, "--csv", str(csv_path)]) == 0
+        lines = csv_path.read_text().splitlines()
+        headers = lines[0].split(",")
+        rows = [dict(zip(headers, line.split(","))) for line in lines[1:]]
+        total = [row for row in rows if row["epoch"] == "TOTAL"]
+        assert len(total) == 1 and rows[-1]["epoch"] == "TOTAL"
+        # the TOTAL row carries the scoreboard: overall ratios and the win
+        assert 0.0 <= float(total[0]["static"]) <= 1.0
+        assert 0.0 <= float(total[0]["adaptive"]) <= 1.0
+        expected_win = float(total[0]["static"]) - float(total[0]["adaptive"])
+        assert float(total[0]["win_vs_static"]) == pytest.approx(expected_win)
+        # epoch rows cover the whole trace
+        epoch_rows = rows[:-1]
+        assert int(epoch_rows[-1]["end"]) == int(total[0]["accesses"])
+
+    def test_online_churn_workload(self, capsys):
+        code = main(["online", "--workload", "churn", "--length", "1500", "--budget", "400",
+                     "--window", "1500", "--epoch", "750", "--rate", "0.5"])
+        assert code == 0
+        assert "resident/visitor" in capsys.readouterr().out
+
+    def test_online_workers_do_not_change_the_csv(self, tmp_path):
+        serial, parallel = tmp_path / "serial.csv", tmp_path / "parallel.csv"
+        assert main([*self.ARGS, "--csv", str(serial)]) == 0
+        assert main([*self.ARGS, "--workers", "3", "--csv", str(parallel)]) == 0
+        assert serial.read_text() == parallel.read_text()
+
+    def test_online_rejects_bad_parameters(self, capsys):
+        bad = ["online", "--length", "1000", "--budget", "100", "--window", "500", "--epoch", "250"]
+        assert main([*bad, "--unit", "200"]) == 2
+        assert "unit" in capsys.readouterr().err
+        assert main([*bad, "--rate", "2.0"]) == 2
+        assert "rate" in capsys.readouterr().err
+        assert main([*bad, "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+
+class TestMainModuleEntryPoint:
+    def test_python_dash_m_repro_runs(self, capsys, monkeypatch):
+        """``python -m repro`` (the console-script path) executes __main__.py."""
+        import runpy
+        import sys
+
+        monkeypatch.setattr(sys, "argv", ["repro", "chain", "4"])
+        with pytest.raises(SystemExit) as excinfo:
+            runpy.run_module("repro", run_name="__main__")
+        assert excinfo.value.code == 0
+        assert "ChainFind result" in capsys.readouterr().out
+
+
 class TestChain:
     def test_chain_default_labeling(self, capsys):
         assert main(["chain", "5"]) == 0
@@ -345,3 +408,9 @@ class TestExperiment:
         assert main(["experiment", "fig1"]) == 0
         out = capsys.readouterr().out
         assert "ell=0" in out and "ell=10" in out
+
+    def test_experiment_online_adaptation(self, capsys):
+        assert main(["experiment", "online-adaptation"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment: online-adaptation" in out
+        assert "adaptive" in out and "oracle" in out

@@ -1,0 +1,258 @@
+"""Differential and metamorphic cross-checks between independent implementations.
+
+The repo carries three independent routes to the same answers: the
+lane-vectorised sweep kernels (:mod:`repro.sim.kernels`), the
+access-by-access reference simulators (:mod:`repro.cache`) and the
+stack-distance algorithms behind :func:`repro.cache.mrc.mrc_from_trace`.
+This module pits them against each other:
+
+* a deterministic sweep of policies × capacities × seeds (> 200 cases, the
+  acceptance floor, independent of the hypothesis profile in use), asserting
+  *exact* agreement between every kernel and its reference simulator;
+* hypothesis-generated traces for the same agreements plus the
+  stack-distance implementations (vectorised vs. Fenwick vs. naive stack);
+* the windowed-SHARDS sketch against the exact MRC on stationary traces
+  (MAE ≤ 0.02);
+* metamorphic properties: the optimal partition *value* is invariant under
+  tenant order permutation, MRCs are monotone non-increasing in capacity,
+  and a windowed profile of a concatenated trace with decay → 0 equals the
+  tail window's exact profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc import DiscretizedMRC, dp_allocate, total_misses
+from repro.cache import FIFOCache, LRUCache, SetAssociativeCache
+from repro.cache.mrc import mrc_from_trace
+from repro.cache.stack_distance import (
+    stack_distances,
+    stack_distances_naive,
+    stack_distances_vectorized,
+)
+from repro.online import WindowedShardsSketch, pooled_curve
+from repro.profiling.accuracy import compare_curves
+from repro.sim.kernels import (
+    _DEVIATE_SALT,
+    compact_trace,
+    fifo_sweep_hits,
+    lru_sweep_hits,
+    random_sweep_hits,
+    set_associative_sweep_hits,
+)
+from repro.trace import zipfian_trace
+
+# --------------------------------------------------------------------------- #
+# Reference implementations and strategies
+# --------------------------------------------------------------------------- #
+traces = st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=60)
+capacity_grids = st.lists(st.integers(min_value=1, max_value=16), min_size=1, max_size=5, unique=True)
+
+
+def random_kernel_reference(trace: np.ndarray, capacity: int, seed: int) -> int:
+    """Scalar replay of the documented random-kernel semantics (one deviate per access).
+
+    This is an independent, dict-based re-implementation of the lane
+    machinery in :func:`repro.sim.kernels.random_sweep_hits`: the same
+    pre-drawn shared deviate stream, explicit victim slots, no vectorisation.
+    """
+    deviates = np.random.default_rng((int(seed), _DEVIATE_SALT)).random(trace.size)
+    slots: list[int] = []
+    position: dict[int, int] = {}
+    hits = 0
+    for step, item in enumerate(int(x) for x in trace):
+        if item in position:
+            hits += 1
+            continue
+        if len(slots) < capacity:
+            position[item] = len(slots)
+            slots.append(item)
+            continue
+        victim_slot = int(deviates[step] * capacity)
+        del position[slots[victim_slot]]
+        slots[victim_slot] = item
+        position[item] = victim_slot
+    return hits
+
+
+def kernel_vs_reference_case(trace: np.ndarray, capacities: np.ndarray, seed: int, ways: int) -> int:
+    """Assert every kernel matches its reference on one case; returns checks done."""
+    dense, distinct = compact_trace(trace)
+    checks = 0
+
+    lru = lru_sweep_hits(trace, capacities)
+    fifo = fifo_sweep_hits(dense, capacities, distinct=distinct)
+    random_hits = random_sweep_hits(dense, capacities, seed=seed, distinct=distinct)
+    sa_caps = capacities * ways
+    sa = set_associative_sweep_hits(trace, sa_caps, ways=ways)
+
+    for k, capacity in enumerate(int(c) for c in capacities):
+        assert int(lru[k]) == LRUCache(capacity).run(trace.tolist()).hits
+        assert int(fifo[k]) == FIFOCache(capacity).run(trace.tolist()).hits
+        assert int(random_hits[k]) == random_kernel_reference(dense, capacity, seed)
+        assert int(sa[k]) == SetAssociativeCache(capacity, ways).run(trace.tolist()).hits
+        checks += 4
+    return checks
+
+
+class TestDeterministicSweep:
+    """The fixed-seed grid behind the '>= 200 generated cases' acceptance bar."""
+
+    def test_kernels_match_references_on_generated_grid(self):
+        checks = 0
+        capacities = np.asarray([1, 2, 3, 5, 8, 13], dtype=np.int64)
+        for seed in range(6):
+            rng = np.random.default_rng(1000 + seed)
+            for footprint, length in ((4, 40), (10, 120), (25, 200)):
+                trace = rng.integers(0, footprint, size=length)
+                checks += kernel_vs_reference_case(trace, capacities, seed=seed, ways=2)
+        assert checks >= 200, f"only {checks} kernel-vs-reference checks ran"
+
+    def test_random_kernel_is_capacity_partition_invariant(self):
+        """Splitting the grid across calls (as the sweep pool does) changes nothing."""
+        rng = np.random.default_rng(42)
+        dense, distinct = compact_trace(rng.integers(0, 30, size=300))
+        grid = np.asarray([1, 2, 4, 8, 16, 24], dtype=np.int64)
+        together = random_sweep_hits(dense, grid, seed=9, distinct=distinct)
+        one_by_one = [
+            int(random_sweep_hits(dense, np.asarray([c], dtype=np.int64), seed=9, distinct=distinct)[0])
+            for c in grid
+        ]
+        assert together.tolist() == one_by_one
+
+
+class TestHypothesisDifferential:
+    @given(traces, capacity_grids)
+    def test_lru_kernel_matches_reference(self, trace, capacities):
+        arr = np.asarray(trace, dtype=np.int64)
+        hits = lru_sweep_hits(arr, np.asarray(sorted(capacities), dtype=np.int64))
+        for k, capacity in enumerate(sorted(capacities)):
+            assert int(hits[k]) == LRUCache(capacity).run(trace).hits
+
+    @given(traces, capacity_grids)
+    def test_fifo_kernel_matches_reference(self, trace, capacities):
+        dense, distinct = compact_trace(np.asarray(trace, dtype=np.int64))
+        hits = fifo_sweep_hits(dense, np.asarray(sorted(capacities), dtype=np.int64), distinct=distinct)
+        for k, capacity in enumerate(sorted(capacities)):
+            assert int(hits[k]) == FIFOCache(capacity).run(trace).hits
+
+    @given(traces, capacity_grids, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_kernel_matches_scalar_reference(self, trace, capacities, seed):
+        dense, distinct = compact_trace(np.asarray(trace, dtype=np.int64))
+        hits = random_sweep_hits(dense, np.asarray(sorted(capacities), dtype=np.int64), seed=seed, distinct=distinct)
+        for k, capacity in enumerate(sorted(capacities)):
+            assert int(hits[k]) == random_kernel_reference(dense, capacity, seed)
+
+    @given(traces, st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=4))
+    def test_set_associative_kernel_matches_reference(self, trace, num_sets, ways):
+        arr = np.asarray(trace, dtype=np.int64)
+        capacity = num_sets * ways
+        hits = set_associative_sweep_hits(arr, np.asarray([capacity], dtype=np.int64), ways=ways)
+        assert int(hits[0]) == SetAssociativeCache(num_sets, ways).run(trace).hits
+
+    @given(traces)
+    def test_stack_distance_implementations_agree(self, trace):
+        vectorised = stack_distances_vectorized(trace)
+        assert np.array_equal(vectorised, stack_distances(trace))
+        assert np.array_equal(vectorised, stack_distances_naive(trace))
+
+    @given(traces, st.integers(min_value=1, max_value=16))
+    def test_mrc_matches_lru_simulation(self, trace, capacity):
+        curve = mrc_from_trace(trace)
+        simulated = LRUCache(capacity).run(trace)
+        assert curve[capacity] == pytest.approx(simulated.miss_ratio)
+
+
+class TestWindowedVsExact:
+    """Windowed-SHARDS accuracy on stationary traffic (the MAE <= 0.02 bar)."""
+
+    @pytest.mark.parametrize(("exponent", "rate"), [(0.6, 0.4), (0.9, 0.25)])
+    def test_windowed_shards_tracks_exact_mrc(self, exponent, rate):
+        """Two pooled seeds keep the MAE within 0.02; flatter popularity (lower
+        exponent) spreads reuse over more items and needs a higher rate."""
+        trace = zipfian_trace(30_000, 2000, exponent=exponent, rng=11).accesses
+        window = 15_000
+        exact = mrc_from_trace(trace[-window:])
+        sketches = []
+        for seed in (0, 1):
+            sketch = WindowedShardsSketch(window=window, rate=rate, seed=seed)
+            sketch.update(trace)
+            sketches.append(sketch)
+        assert compare_curves(pooled_curve(sketches), exact).mean_absolute_error <= 0.02
+
+    def test_full_rate_windowed_profile_is_exact(self):
+        trace = zipfian_trace(4000, 300, exponent=0.7, rng=5).accesses
+        sketch = WindowedShardsSketch(window=2000, rate=1.0)
+        sketch.update(trace)
+        assert compare_curves(sketch.curve(), mrc_from_trace(trace[-2000:])).max_absolute_error == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Metamorphic properties
+# --------------------------------------------------------------------------- #
+monotone_curves = st.lists(
+    st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8),
+    min_size=1,
+    max_size=4,
+).map(
+    lambda rows: [
+        DiscretizedMRC(
+            misses=np.sort(np.asarray(row, dtype=np.float64))[::-1].copy(),
+            unit=1,
+            accesses=max(int(max(row)), 1),
+        )
+        for row in rows
+    ]
+)
+
+
+class TestMetamorphic:
+    @given(monotone_curves, st.integers(min_value=0, max_value=20), st.randoms(use_true_random=False))
+    def test_optimal_partition_value_invariant_under_tenant_order(self, curves, budget, shuffler):
+        """Permuting the tenants permutes the allocation but not the optimum."""
+        baseline = total_misses(curves, dp_allocate(curves, budget))
+        order = list(range(len(curves)))
+        shuffler.shuffle(order)
+        permuted = [curves[i] for i in order]
+        assert total_misses(permuted, dp_allocate(permuted, budget)) == pytest.approx(baseline)
+
+    @given(traces)
+    def test_mrc_monotone_nonincreasing_in_capacity(self, trace):
+        ratios = mrc_from_trace(trace).as_array()
+        assert np.all(np.diff(ratios) <= 1e-12)
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=80), st.data())
+    def test_windowed_sketch_monotone_nonincreasing(self, trace, data):
+        window = data.draw(st.integers(min_value=1, max_value=len(trace)))
+        sketch = WindowedShardsSketch(window=window, rate=1.0)
+        sketch.update(trace)
+        ratios = sketch.curve().as_array()
+        assert np.all(np.diff(ratios) <= 1e-12)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=0, max_size=60),
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=60),
+    )
+    def test_windowed_concat_with_vanishing_decay_equals_tail_exact(self, head, tail):
+        """window = len(tail), decay -> 0: the head cannot influence the profile."""
+        for decay in (0.0, 1e-9):
+            sketch = WindowedShardsSketch(window=len(tail), rate=1.0, decay=decay)
+            sketch.update(np.asarray(head + tail, dtype=np.int64))
+            comparison = compare_curves(sketch.curve(), mrc_from_trace(tail))
+            assert comparison.max_absolute_error <= 1e-6
+
+    @given(traces, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30)
+    def test_windowed_profile_invariant_to_history_before_the_window(self, tail, pad_items):
+        """Any prefix older than the window leaves the sketch state unchanged."""
+        rng = np.random.default_rng(0)
+        head = rng.integers(0, pad_items, size=100)
+        direct = WindowedShardsSketch(window=len(tail), rate=1.0)
+        direct.update(np.asarray(tail, dtype=np.int64))
+        with_history = WindowedShardsSketch(window=len(tail), rate=1.0)
+        with_history.update(np.concatenate([head, np.asarray(tail, dtype=np.int64)]))
+        assert direct.curve().ratios == with_history.curve().ratios

@@ -1,0 +1,153 @@
+"""Unit tests for the phase-shifting workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.mrc import mrc_from_trace
+from repro.trace.drift import (
+    DriftingWorkload,
+    PhasedTrace,
+    compose_phases,
+    tenant_churn,
+    three_phase_pair,
+    working_set_migration,
+    zipf_alpha_drift,
+)
+
+
+class TestPhasedTrace:
+    def test_boundaries_validated(self):
+        from repro.trace import Trace
+
+        with pytest.raises(ValueError):
+            PhasedTrace(trace=Trace([0, 1, 2]), boundaries=(1,))
+        with pytest.raises(ValueError):
+            PhasedTrace(trace=Trace([0, 1, 2]), boundaries=(0, 2, 2))
+        with pytest.raises(ValueError):
+            PhasedTrace(trace=Trace([0, 1, 2]), boundaries=(0, 3))
+
+    def test_phase_slicing(self):
+        phased = zipf_alpha_drift(50, 20, [0.5, 1.0, 1.5], seed=1)
+        assert phased.num_phases == 3
+        assert len(phased.trace) == 150
+        assert sum(phase.size for phase in (phased.phase(0), phased.phase(1), phased.phase(2))) == 150
+
+
+class TestZipfAlphaDrift:
+    def test_deterministic_in_seed(self):
+        a = zipf_alpha_drift(200, 64, [0.3, 1.2], seed=5)
+        b = zipf_alpha_drift(200, 64, [0.3, 1.2], seed=5)
+        assert np.array_equal(a.trace.accesses, b.trace.accesses)
+
+    def test_skew_actually_drifts(self):
+        """A hotter exponent concentrates mass: the MRC knee moves left."""
+        phased = zipf_alpha_drift(5000, 500, [0.1, 1.4], seed=3)
+        mild = mrc_from_trace(phased.phase(0))
+        hot = mrc_from_trace(phased.phase(1))
+        assert hot[50] < mild[50]
+
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            zipf_alpha_drift(100, 10, [])
+
+
+class TestWorkingSetMigration:
+    def test_phases_occupy_their_ranges(self):
+        phased = working_set_migration(300, [(0, 50), (100, 80), (300, 20)], seed=2)
+        assert int(phased.phase(0).max()) < 50
+        assert 100 <= int(phased.phase(1).min()) and int(phased.phase(1).max()) < 180
+        assert 300 <= int(phased.phase(2).min()) and int(phased.phase(2).max()) < 320
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            working_set_migration(100, [])
+        with pytest.raises(ValueError):
+            working_set_migration(100, [(-1, 10)])
+
+
+class TestComposePhases:
+    def test_phase_alignment_and_namespaces(self):
+        streams = [
+            [np.zeros(10, dtype=np.int64), np.ones(10, dtype=np.int64)],
+            [np.full(5, 2, dtype=np.int64), np.full(5, 3, dtype=np.int64)],
+        ]
+        workload = compose_phases(streams, names=("a", "b"), seed=0)
+        assert isinstance(workload, DriftingWorkload)
+        assert workload.boundaries == (0, 15)
+        composed = workload.composed
+        # namespaces disjoint: tenant b's labels are offset past tenant a's
+        assert set(composed.tenant_trace(0)) <= {0, 1}
+        assert min(composed.tenant_trace(1)) >= 2
+        # phase 0 holds exactly the phase-0 events of both tenants
+        assert workload.tenant_phase_trace(0, 0).size == 10
+        assert workload.tenant_phase_trace(1, 0).size == 5
+
+    def test_inactive_phase_means_no_events(self):
+        streams = [
+            [np.zeros(10, dtype=np.int64), np.zeros(10, dtype=np.int64)],
+            [None, np.full(8, 1, dtype=np.int64)],
+        ]
+        workload = compose_phases(streams, names=("a", "b"), seed=0)
+        assert workload.tenant_phase_trace(1, 0).size == 0
+        assert workload.tenant_phase_trace(1, 1).size == 8
+
+    def test_order_preserved_within_tenant(self):
+        streams = [[np.arange(20, dtype=np.int64), np.arange(20, dtype=np.int64)[::-1]]]
+        workload = compose_phases(streams, names=("solo",), seed=3)
+        expected = np.concatenate([np.arange(20), np.arange(20)[::-1]])
+        assert np.array_equal(workload.composed.tenant_trace(0), expected)
+
+    def test_validation(self):
+        stream = [np.zeros(4, dtype=np.int64)]
+        with pytest.raises(ValueError):
+            compose_phases([], names=())
+        with pytest.raises(ValueError):
+            compose_phases([stream], names=("a", "b"))
+        with pytest.raises(ValueError):
+            compose_phases([stream, stream], names=("a", "a"))
+        with pytest.raises(ValueError):
+            compose_phases([stream], names=("a",), rates=[0.0])
+        with pytest.raises(ValueError):
+            compose_phases([[None]], names=("a",))
+        with pytest.raises(ValueError):
+            compose_phases([[np.array([-1])]], names=("a",))
+
+    def test_deterministic_in_seed(self):
+        streams = [
+            [np.arange(30, dtype=np.int64), np.arange(30, dtype=np.int64)],
+            [np.arange(30, dtype=np.int64), np.arange(30, dtype=np.int64)],
+        ]
+        a = compose_phases(streams, names=("x", "y"), seed=9)
+        b = compose_phases(streams, names=("x", "y"), seed=9)
+        c = compose_phases(streams, names=("x", "y"), seed=10)
+        assert np.array_equal(a.composed.tenant_ids, b.composed.tenant_ids)
+        assert not np.array_equal(a.composed.tenant_ids, c.composed.tenant_ids)
+
+
+class TestCanonicalWorkloads:
+    def test_three_phase_pair_is_a_seesaw(self):
+        workload = three_phase_pair(900, large=90, small=25, seed=7)
+        assert workload.num_phases == 3
+        assert workload.composed.names == ("alpha", "beta")
+        for phase, (alpha_fp, beta_fp) in enumerate([(90, 25), (25, 90), (90, 25)]):
+            alpha = workload.tenant_phase_trace(0, phase)
+            beta = workload.tenant_phase_trace(1, phase)
+            assert np.unique(alpha).size <= alpha_fp
+            assert np.unique(beta).size <= beta_fp
+            # each phase's ranges are disjoint from the other phases'
+            assert alpha.size > 0 and beta.size > 0
+
+    def test_three_phase_ranges_disjoint_across_phases(self):
+        workload = three_phase_pair(600, large=50, small=20, seed=1)
+        for tenant in (0, 1):
+            sets = [set(workload.tenant_phase_trace(tenant, p).tolist()) for p in range(3)]
+            assert not (sets[0] & sets[1]) and not (sets[1] & sets[2]) and not (sets[0] & sets[2])
+
+    def test_tenant_churn_visitor_absent_outside_middle_phase(self):
+        workload = tenant_churn(600, resident_items=40, visitor_items=40, seed=4)
+        assert workload.tenant_phase_trace(1, 0).size == 0
+        assert workload.tenant_phase_trace(1, 1).size == 600
+        assert workload.tenant_phase_trace(1, 2).size == 0
+        assert workload.tenant_phase_trace(0, 0).size == 600
