@@ -121,7 +121,11 @@ def discretize_curve(curve: MissRatioCurve, budget: int, *, unit: int = 1) -> Di
     # the last distinct capacity so that point is representable.
     useful_units = min(max_units, -(-curve.max_cache_size // unit))
     sizes = np.arange(1, useful_units + 1) * unit
-    ratios = np.array([curve[int(c)] for c in sizes], dtype=np.float64)
+    # Vectorised curve[c] gather (sizes beyond the curve clamp to its last
+    # point) — this runs once per tenant per epoch in the online engine, so a
+    # per-size Python loop would be a real hot spot.
+    values = curve.as_array()
+    ratios = values[np.minimum(sizes, values.size) - 1]
     ratios = np.minimum.accumulate(ratios)
     misses = np.concatenate([[float(curve.accesses)], ratios * curve.accesses])
     return DiscretizedMRC(misses=misses, unit=unit, accesses=int(curve.accesses))
@@ -151,14 +155,18 @@ def lower_convex_hull(misses: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     if values.ndim != 1 or values.size == 0:
         raise ValueError("misses must be a non-empty 1-D array")
     # Monotone-chain over the points (j, values[j]): keep vertices while the
-    # turn is convex (cross product <= 0 pops the middle point).
+    # turn is convex (cross product <= 0 pops the middle point).  The chain
+    # walks plain Python floats (one tolist() up front): hull extraction runs
+    # on every controller consult in the online engine, and unboxing NumPy
+    # scalars per comparison dominates the loop otherwise.
+    points = values.tolist()
     hull: list[int] = []
-    for j in range(values.size):
+    for j, value in enumerate(points):
         while len(hull) >= 2:
             i, k = hull[-2], hull[-1]
             # slope(i -> k) >= slope(k -> j) means k lies on or above the
             # chord i -> j and is not a lower-hull vertex.
-            if (values[k] - values[i]) * (j - k) >= (values[j] - values[k]) * (k - i):
+            if (points[k] - points[i]) * (j - k) >= (value - points[k]) * (k - i):
                 hull.pop()
             else:
                 break

@@ -32,12 +32,14 @@ from .random_policy import RandomCache
 from .set_associative import SetAssociativeCache
 from .stack_distance import (
     COLD,
+    StackDistanceStream,
     hit_counts,
     reuse_intervals,
     stack_distance_histogram,
     stack_distances,
     stack_distances_naive,
     stack_distances_vectorized,
+    stack_distances_with_previous,
 )
 
 __all__ = [
@@ -61,10 +63,12 @@ __all__ = [
     "RandomCache",
     "SetAssociativeCache",
     "COLD",
+    "StackDistanceStream",
     "hit_counts",
     "reuse_intervals",
     "stack_distance_histogram",
     "stack_distances",
     "stack_distances_naive",
     "stack_distances_vectorized",
+    "stack_distances_with_previous",
 ]

@@ -90,7 +90,7 @@ def mrc_from_trace(trace: Sequence[int] | np.ndarray, *, max_cache_size: int | N
         raise ValueError("cannot build a miss-ratio curve for an empty trace")
     hits = hit_counts(arr, max_cache_size=max_cache_size)
     ratios = 1.0 - hits.astype(np.float64) / arr.size
-    return MissRatioCurve(ratios=tuple(float(x) for x in ratios), accesses=int(arr.size))
+    return MissRatioCurve(ratios=tuple(ratios.tolist()), accesses=int(arr.size))
 
 
 def mrc_by_simulation(trace: Sequence[int] | np.ndarray, cache_sizes: Iterable[int]) -> dict[int, float]:

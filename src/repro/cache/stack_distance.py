@@ -24,6 +24,12 @@ periodic special case can be cross-validated:
   single-pass LRU capacity sweep in :mod:`repro.sim`.
 * :func:`stack_distance_histogram` and :func:`hit_counts` — aggregate forms
   used by the miss-ratio-curve construction in :mod:`repro.cache.mrc`.
+* :class:`StackDistanceStream` — the *chunked* form of the vectorised
+  algorithm: exact distances for a trace delivered in segments, carrying
+  ``O(footprint)`` state between segments so arbitrarily long (for example
+  ``numpy.memmap``-backed) traces are processed in bounded memory.  This is
+  the distance source of the batch partitioned-LRU replay data plane in
+  :mod:`repro.sim.partitioned`.
 
 Distances use the same convention as the rest of the library: the *stack
 distance* of an access is ``1 +`` the number of distinct items referenced since
@@ -46,8 +52,10 @@ __all__ = [
     "stack_distances_naive",
     "stack_distances",
     "stack_distances_vectorized",
+    "stack_distances_with_previous",
     "stack_distance_histogram",
     "hit_counts",
+    "StackDistanceStream",
 ]
 
 #: Sentinel distance assigned to cold (first-ever) accesses.
@@ -135,14 +143,18 @@ def stack_distances(trace: Sequence[int] | np.ndarray) -> np.ndarray:
 def _count_smaller_right(values: np.ndarray) -> np.ndarray:
     """For each element, the number of *strictly smaller* elements to its right.
 
-    Vectorised bottom-up merge sort: at every level the array is reshaped into
-    pair-blocks whose halves are already sorted, one ``argsort`` per level
-    merges all blocks at once, and a row-wise cumulative sum of the
-    "came from the right half" indicator yields, for every left-half element,
-    how many right-half elements precede it in sorted order — exactly its
-    smaller-to-the-right contribution at this level.  Requires distinct
-    values (callers pass arc-end positions, which are unique); the array is
-    padded to a power of two with ``int64`` max sentinels that sort last.
+    Merge-sort decomposition without the merge: every pair ``(i, j)`` with
+    ``i < j`` lands at exactly one level in sibling halves of one block, so
+    the count splits into per-level contributions "smaller elements in my
+    block's right half" — and the levels are mutually independent, each
+    reading the *original* array.  The smallest levels (blocks up to 32
+    elements) collapse into one brute-force pairwise pass; every wider level
+    is one row-wise :func:`numpy.sort` of the right halves plus a single
+    flat :func:`numpy.searchsorted` (block rows are made globally monotone
+    with per-block offsets, so one call ranks every left-half element at
+    once, and the queries need no sorting at all).  Requires distinct values
+    (callers pass last-access positions, which are unique); the array is
+    padded to a power of two with sentinels that sort last.
     """
     n = values.size
     if n == 0:
@@ -150,26 +162,49 @@ def _count_smaller_right(values: np.ndarray) -> np.ndarray:
     size = 1
     while size < n:
         size *= 2
-    vals = np.full(size, np.iinfo(np.int64).max, dtype=np.int64)
-    vals[:n] = values
-    origin = np.arange(size)
-    counts = np.zeros(size, dtype=np.int64)
-    width = 1
+    # Normalise to small non-negative ints so the per-block offsets below
+    # cannot overflow: offsets reach (blocks - 1) * stride < n * (span + 1).
+    low = np.int64(values.min())
+    span = np.int64(values.max()) - low + np.int64(2)  # one sentinel slot past the largest value
+    vals = np.full(size, span - 1, dtype=np.int64)
+    vals[:n] = values - low
+
+    # Base case: all pairs inside 32-element blocks at once.  Sentinels never
+    # count as smaller (they are the maximum), and counts at padded positions
+    # are discarded by the final [:n].
+    base = min(size, 32)
+    rows = vals.reshape(-1, base)
+    to_the_right = np.triu(np.ones((base, base), dtype=bool), 1)[None, :, :]  # [i, j]: j > i
+    larger = rows[:, :, None] > rows[:, None, :]  # [b, i, j]: v_i > v_j
+    counts = (larger & to_the_right).sum(axis=2).reshape(-1).astype(np.int64)
+    width = base
     while width < size:
         pair = 2 * width
-        block_vals = vals.reshape(-1, pair)
-        block_origin = origin.reshape(-1, pair)
-        order = np.argsort(block_vals, axis=1, kind="stable")
-        sorted_vals = np.take_along_axis(block_vals, order, axis=1)
-        sorted_origin = np.take_along_axis(block_origin, order, axis=1)
-        from_right = order >= width
-        right_before = np.cumsum(from_right, axis=1) - from_right
-        left = ~from_right
-        counts[sorted_origin[left]] += right_before[left]
-        vals = sorted_vals.reshape(-1)
-        origin = sorted_origin.reshape(-1)
+        blocks = size // pair
+        rows = vals.reshape(blocks, pair)
+        offsets = np.arange(blocks, dtype=np.int64) * span
+        right = np.sort(rows[:, width:], axis=1) + offsets[:, None]
+        queries = rows[:, :width] + offsets[:, None]
+        ranks = np.searchsorted(right.reshape(-1), queries.reshape(-1)).astype(np.int64).reshape(blocks, width)
+        ranks -= np.arange(blocks, dtype=np.int64)[:, None] * width  # drop earlier blocks' right halves
+        counts.reshape(blocks, pair)[:, :width] += ranks
         width = pair
     return counts[:n]
+
+
+def _reuse_arcs(arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Reuse arcs ``(start, end)`` of a trace, sorted by start position.
+
+    Adjacent equal items after a stable sort are consecutive accesses of the
+    same item; each such pair is one arc.
+    """
+    order = np.argsort(arr, kind="stable")
+    sorted_items = arr[order]
+    same = sorted_items[1:] == sorted_items[:-1]
+    starts = order[:-1][same]
+    ends = order[1:][same]
+    by_start = np.argsort(starts)
+    return starts[by_start], ends[by_start]
 
 
 def stack_distances_vectorized(trace: Sequence[int] | np.ndarray) -> np.ndarray:
@@ -188,25 +223,139 @@ def stack_distances_vectorized(trace: Sequence[int] | np.ndarray) -> np.ndarray:
     elements to the right" over the arc-end sequence.  Bit-identical to
     :func:`stack_distances` (cross-validated in the test-suite).
     """
+    return stack_distances_with_previous(trace)[0]
+
+
+def stack_distances_with_previous(trace: Sequence[int] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Stack distances plus each access's previous-access position.
+
+    Returns ``(distances, previous)`` where ``previous[t]`` is the position
+    of the preceding access to the same item (``-1`` for a first-ever
+    access).  The pair is what makes whole-stream distances reusable for
+    *subtrace* analyses: an access whose previous access falls inside a
+    suffix ``[s, ...)`` has the same stack distance in that suffix as in the
+    whole stream (the distinct items between the two accesses all lie inside
+    it), and an access with ``previous < s`` is simply cold there — the
+    identity behind the free per-phase oracle profiles in
+    :mod:`repro.online.replay`.
+    """
     arr = _as_trace(trace)
     n = arr.size
     out = np.full(n, COLD, dtype=np.int64)
+    previous = np.full(n, -1, dtype=np.int64)
     if n == 0:
-        return out
-    # Adjacent equal items after a stable sort are consecutive accesses.
-    order = np.argsort(arr, kind="stable")
-    sorted_items = arr[order]
-    same = sorted_items[1:] == sorted_items[:-1]
-    starts = order[:-1][same]
-    ends = order[1:][same]
-    if starts.size == 0:
-        return out
-    by_start = np.argsort(starts)
-    arc_start = starts[by_start]
-    arc_end = ends[by_start]
+        return out, previous
+    arc_start, arc_end = _reuse_arcs(arr)
+    if arc_start.size == 0:
+        return out, previous
     nested = _count_smaller_right(arc_end)
     out[arc_end] = arc_end - arc_start - nested
-    return out
+    previous[arc_end] = arc_start
+    return out, previous
+
+
+def _count_larger_left(values: np.ndarray) -> np.ndarray:
+    """For each element, the number of *strictly larger* elements to its left.
+
+    Reduction to :func:`_count_smaller_right`: negating flips the order and
+    reversing flips left/right, so larger-to-the-left of ``a`` is
+    smaller-to-the-right of ``-a`` reversed (same distinct-values
+    requirement; callers pass last-access positions, which are unique).
+    """
+    return _count_smaller_right(-values[::-1])[::-1]
+
+
+class StackDistanceStream:
+    """Exact LRU stack distances for a trace consumed chunk by chunk.
+
+    :meth:`feed` returns the stack distances of a chunk's accesses measured
+    over the *whole* stream consumed so far — bit-identical to running
+    :func:`stack_distances_vectorized` over the concatenation of every chunk
+    — while carrying only ``O(footprint)`` state between chunks.  Long
+    (``numpy.memmap``-backed) traces therefore stream through in bounded
+    memory: per chunk the cost is one vectorised in-chunk distance pass plus
+    ``O((footprint + chunk) log)`` NumPy work for the cross-chunk reuses.
+
+    The cross-chunk correction uses the same arc identity as the one-shot
+    algorithm.  An access at chunk position ``t`` whose previous access ``p``
+    lies in an earlier chunk has distance ``1 + |{items last accessed in
+    (p, t)}|``, split into (a) items with an in-chunk access before ``t``
+    (the rank of ``t`` among in-chunk first occurrences), plus (b) carried
+    items whose pre-chunk last access exceeds ``p`` (a sorted-array rank),
+    minus (c) carried items counted by both — an offline dominance count over
+    the cross-chunk reuses themselves (:func:`_count_larger_left`).
+
+    Examples
+    --------
+    >>> stream = StackDistanceStream()
+    >>> stream.feed([1, 2]).tolist() == [COLD, COLD]
+    True
+    >>> stream.feed([2, 3, 2, 1]).tolist()  # == stack_distances([1,2,2,3,2,1])[2:]
+    [1, 9223372036854775807, 2, 3]
+    """
+
+    def __init__(self) -> None:
+        self._labels = np.zeros(0, dtype=np.int64)  # distinct items, sorted
+        self._positions = np.zeros(0, dtype=np.int64)  # last global access position, aligned to _labels
+        self._clock = 0
+
+    @property
+    def clock(self) -> int:
+        """Number of accesses consumed so far."""
+        return self._clock
+
+    @property
+    def footprint(self) -> int:
+        """Number of distinct items seen so far."""
+        return int(self._labels.size)
+
+    def feed(self, chunk: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Consume one chunk; return its whole-stream stack distances.
+
+        Cold accesses (first-ever across *all* chunks) report :data:`COLD`.
+        """
+        arr = _as_trace(chunk)
+        n = int(arr.size)
+        out = stack_distances_vectorized(arr)
+        if n == 0:
+            return out
+        start = self._clock
+        uniq, first_idx = np.unique(arr, return_index=True)
+
+        # Previous (pre-chunk) global position of every distinct chunk item.
+        if self._labels.size:
+            loc = np.minimum(np.searchsorted(self._labels, uniq), self._labels.size - 1)
+            found = self._labels[loc] == uniq
+            prev = np.where(found, self._positions[loc], np.int64(-1))
+        else:
+            loc = np.zeros(uniq.size, dtype=np.intp)
+            found = np.zeros(uniq.size, dtype=bool)
+            prev = np.full(uniq.size, -1, dtype=np.int64)
+
+        reused = prev >= 0
+        if reused.any():
+            active = np.sort(self._positions)  # one last position per carried item
+            order = np.argsort(first_idx[reused])  # cross-chunk reuses in chunk order
+            q_first = first_idx[reused][order]
+            q_prev = prev[reused][order]
+            distinct_before = np.searchsorted(np.sort(first_idx), q_first)
+            carried_above = active.size - np.searchsorted(active, q_prev, side="right")
+            dominated = _count_larger_left(q_prev)
+            out[q_first] = 1 + distinct_before + carried_above - dominated
+
+        # Advance the carried state to this chunk's last occurrences.
+        last_global = start + (n - 1) - np.unique(arr[::-1], return_index=True)[1]
+        if found.any():
+            self._positions[loc[found]] = last_global[found]
+        new = ~found
+        if new.any():
+            labels = np.concatenate([self._labels, uniq[new]])
+            positions = np.concatenate([self._positions, last_global[new]])
+            merge = np.argsort(labels, kind="stable")
+            self._labels = labels[merge]
+            self._positions = positions[merge]
+        self._clock = start + n
+        return out
 
 
 def stack_distance_histogram(

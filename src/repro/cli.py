@@ -419,7 +419,7 @@ def _cmd_online(args: argparse.Namespace) -> int:
             profile_seed=args.profile_seed,
             name=args.workload,
         )
-        result = run_replay(workload, job, workers=args.workers)
+        result = run_replay(workload, job, workers=args.workers, engine=args.engine)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -700,6 +700,12 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--seed", type=int, default=7, help="seed of the drifting workload")
     online.add_argument("--profile-seed", type=int, default=0, help="hash seed of the windowed SHARDS sampler")
     online.add_argument("--workers", type=int, default=1, help="process pool size (never changes the results)")
+    online.add_argument(
+        "--engine",
+        choices=("batch", "reference"),
+        default="batch",
+        help="replay data plane: vectorised batch kernels or the per-event reference (bit-identical)",
+    )
     online.add_argument("--csv", default=None, help="write per-epoch rows plus a TOTAL row to this CSV file")
     online.set_defaults(func=_cmd_online)
 

@@ -22,11 +22,25 @@ event-by-event through three partitioned LRU caches at once:
     boundaries (which only the generator knows).
 
 All three run in the same event loop, so their per-epoch miss-ratio series
-are directly comparable.  ``workers`` fans the heavy up-front exact profile
-extractions (whole-trace and per-phase) across a process pool — the tiny
-per-epoch windowed extractions always run inline — and every quantity is a
-pure function of the workload and the job, so results are bit-identical for
-every worker count (asserted in ``tests/online/test_replay.py``).
+are directly comparable.  Every quantity is a pure function of the workload
+and the job, so results are bit-identical for every worker count (asserted
+in ``tests/online/test_replay.py``); under the ``reference`` engine
+``workers`` fans the up-front exact profile extractions (whole-trace and
+per-phase) across a process pool, while the default ``batch`` engine derives
+them from its own distance pass and never needs the pool.
+
+Two interchangeable *data planes* drive the three simulators (``engine``):
+
+``batch`` (the default)
+    The vectorised plane from :mod:`repro.sim.partitioned`: one streaming
+    stack-distance pass per tenant per chunk, shared by all three lanes,
+    with per-segment occupancy kernels instead of per-event dictionary
+    bookkeeping (see ``docs/performance.md``).
+``reference``
+    The original per-event :class:`PartitionedLRU` loop, kept as the slow
+    readable oracle.  Both planes produce bit-identical per-epoch series
+    (asserted in the differential suite and enforced with a measured ≥10×
+    data-plane speedup in ``benchmarks/test_bench_replay.py``).
 """
 
 from __future__ import annotations
@@ -38,14 +52,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..alloc.curves import DiscretizedMRC, discretize_curve
-from ..cache.mrc import mrc_from_trace
+from ..cache.mrc import MissRatioCurve, mrc_from_trace
+from ..cache.stack_distance import COLD, stack_distances_with_previous
 from ..profiling.pool import check_workers, pool_map
+from ..sim.partitioned import BatchPartitionedLRU, PrecomputedTenantDistances
 from ..trace.drift import DriftingWorkload
 from .controller import ReallocationController
 from .phases import PhaseChangeDetector
 from .windowed import WindowedShardsSketch, WindowSnapshot, curve_of_snapshot
 
-__all__ = ["OnlineJob", "EpochStats", "ReplayResult", "PartitionedLRU", "run_replay"]
+__all__ = ["OnlineJob", "EpochStats", "ReplayResult", "PartitionedLRU", "run_replay", "REPLAY_ENGINES"]
+
+#: The selectable replay data planes (see :func:`run_replay`).
+REPLAY_ENGINES: tuple[str, ...] = ("batch", "reference")
 
 
 @dataclass(frozen=True)
@@ -178,6 +197,9 @@ class ReplayResult:
     reallocations: int
     phase_changes: int
     profiled_references: int
+    #: The oracle's per-phase splits (applied at the true phase boundaries);
+    #: exposed so benchmarks can re-drive the exact lane schedules.
+    oracle_allocations: tuple[tuple[int, ...], ...] = ()
 
     @property
     def win_vs_static(self) -> float:
@@ -218,6 +240,12 @@ class PartitionedLRU:
     from its least-recently-used end (so the move's warm-up cost surfaces as
     ordinary misses on the next accesses), a grown one simply gains headroom.
     A capacity of 0 bypasses the cache entirely (every access misses).
+
+    This per-event simulator is the *slow-path reference*: the replay engine
+    drives its lanes through the batch kernels of
+    :class:`repro.sim.partitioned.BatchPartitionedLRU` by default, and the
+    differential suite holds the two bit-identical on every schedule of
+    accesses and resizes.
     """
 
     def __init__(self, capacities: Sequence[int]):
@@ -232,6 +260,11 @@ class PartitionedLRU:
     def capacities(self) -> tuple[int, ...]:
         """Current per-tenant partition sizes in blocks."""
         return tuple(self._capacities)
+
+    @property
+    def occupancies(self) -> tuple[int, ...]:
+        """Resident blocks per tenant (what a shrink eviction truncates)."""
+        return tuple(len(entries) for entries in self._entries)
 
     def access(self, tenant: int, item: int) -> bool:
         """Access ``item`` in tenant ``tenant``'s partition; ``True`` on a hit."""
@@ -285,6 +318,25 @@ def _exact_discretized(task: tuple[np.ndarray, int, int]) -> DiscretizedMRC:
     return discretize_curve(curve, budget, unit=unit)
 
 
+def _discretized_from_distances(distances: np.ndarray, budget: int, unit: int) -> DiscretizedMRC:
+    """Exact discretized MRC straight from precomputed stack distances.
+
+    Bit-identical to ``_exact_discretized`` on the stream the distances were
+    measured over (same histogram, same cumulative hits, same float ops) —
+    but free once the replay data plane has done its one distance pass per
+    tenant.  Cold accesses carry the :data:`~repro.cache.stack_distance.COLD`
+    sentinel, which is beyond any budget and falls out of the histogram.
+    """
+    n = int(distances.size)
+    if n == 0:
+        return _idle_curve(unit)
+    within = distances[distances <= budget]
+    hist = np.bincount(within - 1, minlength=budget)[:budget]
+    ratios = 1.0 - np.cumsum(hist).astype(np.float64) / n
+    curve = MissRatioCurve(ratios=tuple(ratios.tolist()), accesses=n)
+    return discretize_curve(curve, budget, unit=unit)
+
+
 def _windowed_profile(task: tuple[WindowSnapshot, int, int]):
     """Pool worker: windowed-sketch curve (for the detector) plus its discretization.
 
@@ -306,9 +358,83 @@ def _initial_split(num_tenants: int, budget: int, unit: int) -> tuple[int, ...]:
     return tuple((base + (1 if t < extra else 0)) * unit for t in range(num_tenants))
 
 
-def run_replay(workload: DriftingWorkload, job: OnlineJob, *, workers: int = 1) -> ReplayResult:
-    """Replay a drifting workload under static, adaptive and oracle partitioning."""
+class _LaneSet:
+    """The static/adaptive/oracle lane simulators behind one data plane.
+
+    ``batch`` shares one streaming stack-distance pass per tenant per chunk
+    across all three :class:`~repro.sim.partitioned.BatchPartitionedLRU`
+    lanes; ``reference`` steps three per-event :class:`PartitionedLRU`
+    simulators.  Both expose the same advance/resize surface so the replay
+    control loop above them is engine-agnostic.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        distance_arrays: Sequence[np.ndarray] | None,
+        allocations: dict[str, Sequence[int]],
+    ):
+        if engine not in REPLAY_ENGINES:
+            raise ValueError(f"engine must be one of {REPLAY_ENGINES}, got {engine!r}")
+        if engine == "reference":
+            self._distances = None
+            self._sims = {name: PartitionedLRU(capacities) for name, capacities in allocations.items()}
+        else:
+            # The per-tenant distance pass already ran (it produced the static
+            # and oracle profiles); chunks slice the same arrays for free.
+            self._distances = PrecomputedTenantDistances.from_arrays(distance_arrays)
+            self._sims = {name: BatchPartitionedLRU(capacities) for name, capacities in allocations.items()}
+
+    def advance(self, chunk_items: np.ndarray, chunk_ids: np.ndarray, counters: dict[str, list[int]]) -> None:
+        """Feed one chunk to every lane, folding hit/miss deltas into ``counters``."""
+        if self._distances is None:
+            # The per-event loop is the reference plane's hot path; plain
+            # Python ints (one tolist() per chunk) hash and compare much
+            # faster in the OrderedDict partitions than per-event numpy
+            # scalar unboxing.
+            event_pairs = list(zip(chunk_ids.tolist(), chunk_items.tolist()))
+            for key, sim in self._sims.items():
+                hits_before, misses_before = sim.hits, sim.misses
+                access = sim.access
+                for tenant, item in event_pairs:
+                    access(tenant, item)
+                counters[key][0] += sim.hits - hits_before
+                counters[key][1] += sim.misses - misses_before
+        else:
+            # One distance pass per tenant serves all three capacity
+            # schedules: distances are a property of the tenant stream alone.
+            distances = self._distances.feed(chunk_items, chunk_ids)
+            for key, sim in self._sims.items():
+                hits, misses = sim.run_segment(distances)
+                counters[key][0] += hits
+                counters[key][1] += misses
+
+    def resize(self, lane: str, capacities: Sequence[int]) -> None:
+        """Apply a new split to one lane (shrink evictions included)."""
+        self._sims[lane].resize(capacities)
+
+    def capacities(self, lane: str) -> tuple[int, ...]:
+        """Current per-tenant split of one lane."""
+        return self._sims[lane].capacities
+
+    def miss_ratio(self, lane: str) -> float:
+        """Overall miss ratio of one lane so far."""
+        return self._sims[lane].miss_ratio
+
+
+def run_replay(
+    workload: DriftingWorkload, job: OnlineJob, *, workers: int = 1, engine: str = "batch"
+) -> ReplayResult:
+    """Replay a drifting workload under static, adaptive and oracle partitioning.
+
+    ``engine`` selects the data plane driving the three simulators:
+    ``"batch"`` (vectorised kernels, the default) or ``"reference"`` (the
+    per-event ``OrderedDict`` loop).  The result is bit-identical either way.
+    """
     workers = check_workers(workers)
+    if engine not in REPLAY_ENGINES:
+        # Fail before the expensive up-front profiling, like OnlineJob does.
+        raise ValueError(f"engine must be one of {REPLAY_ENGINES}, got {engine!r}")
     composed = workload.composed
     items = composed.trace.accesses
     ids = composed.tenant_ids
@@ -318,24 +444,51 @@ def run_replay(workload: DriftingWorkload, job: OnlineJob, *, workers: int = 1) 
 
     controller = ReallocationController(budget=budget, method=job.method, unit=unit, move_cost=job.move_cost)
 
-    # Whole-trace (static) and per-phase (oracle) exact profiles, fanned over
-    # the pool; both are method-independent inputs computed up front.
-    static_tasks = [(composed.tenant_trace(t), budget, unit) for t in range(num_tenants)]
-    phase_tasks = [
-        (workload.tenant_phase_trace(t, p), budget, unit)
-        for p in range(workload.num_phases)
-        for t in range(num_tenants)
-    ]
-    static_curves = pool_map(_exact_discretized, static_tasks, workers=workers)
-    phase_curves = pool_map(_exact_discretized, phase_tasks, workers=workers)
+    # Whole-trace (static) and per-phase (oracle) exact profiles — both are
+    # method-independent inputs computed up front.
+    if engine == "reference":
+        # The seed path: every profile re-processes its stream from scratch,
+        # fanned over the pool.
+        static_tasks = [(composed.tenant_trace(t), budget, unit) for t in range(num_tenants)]
+        phase_tasks = [
+            (workload.tenant_phase_trace(t, p), budget, unit)
+            for p in range(workload.num_phases)
+            for t in range(num_tenants)
+        ]
+        static_curves = pool_map(_exact_discretized, static_tasks, workers=workers)
+        phase_curves = pool_map(_exact_discretized, phase_tasks, workers=workers)
+        distance_arrays = None
+    else:
+        # The batch data plane: ONE distance pass per tenant yields the static
+        # profiles (histogram of the whole array), the per-phase oracle
+        # profiles (an access whose previous access predates the phase is
+        # simply cold there — no re-processing), and then drives every lane.
+        tenant_positions = [np.flatnonzero(ids == t) for t in range(num_tenants)]
+        passes = [stack_distances_with_previous(items[idx]) for idx in tenant_positions]
+        distance_arrays = [distances for distances, _previous in passes]
+        static_curves = [_discretized_from_distances(distances, budget, unit) for distances in distance_arrays]
+        phase_curves = []
+        for p in range(workload.num_phases):
+            bounds = workload.phase_slice(p)
+            for t in range(num_tenants):
+                lo, hi = (int(x) for x in np.searchsorted(tenant_positions[t], bounds))
+                distances, previous = passes[t]
+                adjusted = np.where(previous[lo:hi] >= lo, distances[lo:hi], np.int64(COLD))
+                phase_curves.append(_discretized_from_distances(adjusted, budget, unit))
     static_allocation = controller.propose(static_curves)
     oracle_allocations = []
     for p in range(workload.num_phases):
         oracle_allocations.append(controller.propose(phase_curves[p * num_tenants : (p + 1) * num_tenants]))
 
-    static_sim = PartitionedLRU(static_allocation)
-    oracle_sim = PartitionedLRU(oracle_allocations[0])
-    adaptive_sim = PartitionedLRU(_initial_split(num_tenants, budget, unit))
+    lanes = _LaneSet(
+        engine,
+        distance_arrays,
+        {
+            "static": static_allocation,
+            "adaptive": _initial_split(num_tenants, budget, unit),
+            "oracle": oracle_allocations[0],
+        },
+    )
     sketches = [
         WindowedShardsSketch(window=job.window, decay=job.decay, rate=job.rate, seed=job.profile_seed)
         for _ in range(num_tenants)
@@ -361,17 +514,7 @@ def run_replay(workload: DriftingWorkload, job: OnlineJob, *, workers: int = 1) 
         """Feed events ``start .. end`` to all three simulators and the sketches."""
         chunk_items = items[start:end]
         chunk_ids = ids[start:end]
-        # The per-event loop is the replay's hot path; plain Python ints
-        # (one tolist() per chunk) hash and compare much faster in the
-        # OrderedDict partitions than per-event numpy scalar unboxing.
-        event_pairs = list(zip(chunk_ids.tolist(), chunk_items.tolist()))
-        for sim, key in ((static_sim, "static"), (adaptive_sim, "adaptive"), (oracle_sim, "oracle")):
-            hits_before, misses_before = sim.hits, sim.misses
-            access = sim.access
-            for tenant, item in event_pairs:
-                access(tenant, item)
-            counters[key][0] += sim.hits - hits_before
-            counters[key][1] += sim.misses - misses_before
+        lanes.advance(chunk_items, chunk_ids, counters)
         for t in range(num_tenants):
             tenant_items = chunk_items[chunk_ids == t]
             sketches[t].update(tenant_items)
@@ -388,7 +531,7 @@ def run_replay(workload: DriftingWorkload, job: OnlineJob, *, workers: int = 1) 
         position = stop
         if phase + 1 < workload.num_phases and position >= workload.boundaries[phase + 1]:
             phase += 1
-            oracle_sim.resize(oracle_allocations[phase])
+            lanes.resize("oracle", oracle_allocations[phase])
         if position not in epoch_ends:
             continue
 
@@ -421,11 +564,11 @@ def run_replay(workload: DriftingWorkload, job: OnlineJob, *, workers: int = 1) 
         if changed or settling or epoch_index % job.realloc_epochs == 0:
             decision = controller.decide(
                 window_curves,
-                adaptive_sim.capacities,
+                lanes.capacities("adaptive"),
                 horizon=job.epoch * job.horizon_epochs,
             )
             if decision.applied:
-                adaptive_sim.resize(decision.allocation)
+                lanes.resize("adaptive", decision.allocation)
                 reallocations += 1
                 applied = True
                 moved_blocks = decision.moved_blocks
@@ -449,7 +592,7 @@ def run_replay(workload: DriftingWorkload, job: OnlineJob, *, workers: int = 1) 
                 phase_change=changed,
                 reallocated=applied,
                 moved_blocks=moved_blocks,
-                adaptive_allocation=adaptive_sim.capacities,
+                adaptive_allocation=lanes.capacities("adaptive"),
             )
         )
         epoch_index += 1
@@ -463,12 +606,13 @@ def run_replay(workload: DriftingWorkload, job: OnlineJob, *, workers: int = 1) 
         tenants=composed.names,
         budget=budget,
         epochs=tuple(epochs),
-        static_miss_ratio=static_sim.miss_ratio,
-        adaptive_miss_ratio=adaptive_sim.miss_ratio,
-        oracle_miss_ratio=oracle_sim.miss_ratio,
+        static_miss_ratio=lanes.miss_ratio("static"),
+        adaptive_miss_ratio=lanes.miss_ratio("adaptive"),
+        oracle_miss_ratio=lanes.miss_ratio("oracle"),
         static_allocation=tuple(static_allocation),
-        final_allocation=adaptive_sim.capacities,
+        final_allocation=lanes.capacities("adaptive"),
         reallocations=reallocations,
         phase_changes=phase_changes,
         profiled_references=profiled_references,
+        oracle_allocations=tuple(tuple(a) for a in oracle_allocations),
     )

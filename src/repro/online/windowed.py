@@ -114,6 +114,8 @@ class WindowedShardsSketch:
         self.decay = float(decay)
         self.seed = int(seed)
         self._threshold = rate_threshold(rate)
+        # Pre-boxed once: update() compares hashes against it on every batch.
+        self._threshold_u64 = np.uint64(self._threshold)
         self.effective_rate = self._threshold / HASH_SPACE
         self._items: np.ndarray = np.zeros(0, dtype=np.int64)
         self._positions: np.ndarray = np.zeros(0, dtype=np.int64)
@@ -146,7 +148,7 @@ class WindowedShardsSketch:
             self._segments[-1][1] += int(arr.size)
         else:
             self._segments.append([start, int(arr.size)])
-        mask = spatial_hash(arr, self.seed) < np.uint64(self._threshold)
+        mask = spatial_hash(arr, self.seed) < self._threshold_u64
         if mask.any():
             self._items = np.concatenate([self._items, arr[mask]])
             self._positions = np.concatenate([self._positions, start + np.nonzero(mask)[0].astype(np.int64)])
@@ -183,20 +185,22 @@ class WindowedShardsSketch:
 
     def _offered_mass(self) -> tuple[int, float]:
         """Count and decayed weight of offered references inside the window."""
-        offered = sum(length for _start, length in self._segments)
+        if not self._segments:
+            return 0, 0.0
+        bounds = np.asarray(self._segments, dtype=np.float64)
+        starts, lengths = bounds[:, 0], bounds[:, 1]
+        offered = int(lengths.sum())
         if self.decay == 0.0:
             return offered, float(offered)
         newest = self._clock - 1
-        # expm1 keeps the geometric-series ratio finite as decay -> 0, where
-        # the naive (1 - e^-d L) / (1 - e^-d) form degenerates to 0/0 (NaN).
+        # Positions start .. start+length-1 carry ages newest-p; geometric
+        # series per segment summed in closed form, all exponents <= 0 (no
+        # overflow).  expm1 keeps the ratio finite as decay -> 0, where the
+        # naive (1 - e^-d L) / (1 - e^-d) form degenerates to 0/0 (NaN).
         denominator = -np.expm1(-self.decay)
-        mass = 0.0
-        for start, length in self._segments:
-            # Positions start .. start+length-1 carry ages newest-p; geometric
-            # series summed in closed form, all exponents <= 0 (no overflow).
-            youngest_age = newest - (start + length - 1)
-            mass += float(np.exp(-self.decay * youngest_age)) * float(-np.expm1(-self.decay * length)) / denominator
-        return offered, mass
+        youngest_ages = newest - (starts + lengths - 1.0)
+        terms = np.exp(-self.decay * youngest_ages) * -np.expm1(-self.decay * lengths) / denominator
+        return offered, float(terms.sum())
 
     def snapshot(self) -> WindowSnapshot:
         """Freeze the current window state for (possibly remote) curve extraction."""

@@ -37,6 +37,7 @@ that error for ten times the work.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from functools import lru_cache
 
 import numpy as np
 
@@ -84,13 +85,15 @@ def spatial_hash(items: Sequence[int] | np.ndarray, seed: int = 0) -> np.ndarray
     return hashed & np.uint64(HASH_SPACE - 1)
 
 
+@lru_cache(maxsize=256)
 def rate_threshold(rate: float) -> int:
     """Quantise a sampling rate to its integer hash threshold ``T`` (validated).
 
     ``rate = T / HASH_SPACE``; every SHARDS consumer — the whole-trace
     profiler here and the windowed sketches in :mod:`repro.online.windowed` —
     must use this one quantisation so the same nominal rate always selects
-    the same item sub-population.
+    the same item sub-population.  Memoised per rate: the online engine asks
+    for the same handful of thresholds on every epoch of every run.
     """
     if not 0.0 < float(rate) <= 1.0:
         raise ValueError(f"rate must be in (0, 1], got {rate}")
@@ -172,12 +175,15 @@ def histogram_to_mrc(
     """
     ratios = 1.0 - np.cumsum(histogram) / denominator
     ratios = np.minimum.accumulate(np.clip(ratios, 0.0, 1.0))
-    curve = MissRatioCurve(ratios=tuple(float(x) for x in ratios), accesses=int(accesses))
+    # ndarray.tolist() builds plain floats in one C pass — the per-element
+    # generator version showed up in online-replay profiles, where this runs
+    # for every tenant on every epoch.
+    curve = MissRatioCurve(ratios=tuple(ratios.tolist()), accesses=int(accesses))
     if max_cache_size is not None:
         from .accuracy import curve_values
 
         curve = MissRatioCurve(
-            ratios=tuple(float(x) for x in curve_values(curve, max_cache_size)),
+            ratios=tuple(curve_values(curve, max_cache_size).tolist()),
             accesses=int(accesses),
         )
     return curve

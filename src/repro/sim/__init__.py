@@ -17,6 +17,13 @@ subsystem collapses that matrix:
     the shared :mod:`repro.profiling.pool` process pool.  Results are
     bit-identical for every ``workers`` value, including the seeded random
     policy.
+:mod:`repro.sim.partitioned`
+    The batch partitioned-LRU data plane of the online replay engine: whole
+    segments per kernel call (hit iff stack distance ≤ current occupancy),
+    per-tenant streaming distances shared by every capacity schedule, and a
+    bounded-memory :func:`~repro.sim.partitioned.replay_partitioned` for
+    ``numpy.memmap``-backed traces.  Bit-identical to the per-event
+    ``OrderedDict`` reference simulator.
 
 The CLI exposes the engine as ``python -m repro sweep``; the
 ``policy-sweep`` experiment and ``benchmarks/test_bench_sweep.py`` build on it.
@@ -40,6 +47,13 @@ from .kernels import (
     random_sweep_hits,
     set_associative_sweep_hits,
 )
+from .partitioned import (
+    BatchPartitionedLRU,
+    PrecomputedTenantDistances,
+    TenantDistanceStreams,
+    partitioned_lru_segment,
+    replay_partitioned,
+)
 from .sweep import POLICIES, PolicySweep, SweepJob, SweepResult, naive_sweep_hits, run_sweep
 
 __all__ = [
@@ -49,6 +63,11 @@ __all__ = [
     "lru_sweep_hits",
     "random_sweep_hits",
     "set_associative_sweep_hits",
+    "BatchPartitionedLRU",
+    "PrecomputedTenantDistances",
+    "TenantDistanceStreams",
+    "partitioned_lru_segment",
+    "replay_partitioned",
     "POLICIES",
     "PolicySweep",
     "SweepJob",

@@ -54,6 +54,13 @@ from .drift import (
 )
 from .io import read_npz, read_text, write_npz, write_text
 from .stats import TraceStats, locality_score, summarize
+from .streaming import (
+    DEFAULT_SEGMENT,
+    StreamingTrace,
+    as_streaming,
+    create_memmap_trace,
+    open_memmap_trace,
+)
 from .tenancy import MultiTenantTrace, TenantSpec, compose_tenants
 
 __all__ = [
@@ -92,6 +99,11 @@ __all__ = [
     "TraceStats",
     "locality_score",
     "summarize",
+    "DEFAULT_SEGMENT",
+    "StreamingTrace",
+    "as_streaming",
+    "create_memmap_trace",
+    "open_memmap_trace",
     "MultiTenantTrace",
     "TenantSpec",
     "compose_tenants",

@@ -1,0 +1,183 @@
+"""Chunked columnar traces: bounded-memory segments, optionally memmap-backed.
+
+The in-memory :class:`~repro.trace.trace.Trace` container materialises the
+whole access array; the replay data plane (:mod:`repro.sim.partitioned`)
+only ever needs one *segment* at a time.  :class:`StreamingTrace` provides
+that view: columnar ``items`` / ``tenant_ids`` arrays — plain ``ndarray`` or
+``numpy.memmap`` — iterated as fixed-size segment copies, so a ``10^7+``
+reference trace on disk replays with one segment plus ``O(footprint)``
+carried state resident (asserted in ``benchmarks/test_bench_replay.py``).
+
+File-backed traces use the standard ``.npy`` format, one file per column
+(``<stem>.items.npy`` and ``<stem>.tenants.npy``), so they round-trip
+through plain :func:`numpy.load` and external tools as well:
+
+* :func:`create_memmap_trace` — allocate a writable trace of a given length
+  and fill it segment by segment (nothing is ever fully resident).
+* :func:`open_memmap_trace` — reopen it read-only, memory-mapped.
+* :func:`as_streaming` — wrap an in-memory trace/array in the same interface
+  so consumers are agnostic to where the columns live.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = [
+    "DEFAULT_SEGMENT",
+    "StreamingTrace",
+    "as_streaming",
+    "create_memmap_trace",
+    "open_memmap_trace",
+]
+
+#: Default segment length (references per yielded chunk).
+DEFAULT_SEGMENT: int = 1 << 18
+
+
+def _check_integer_column(column: np.ndarray, name: str) -> None:
+    """Reject non-integer columns instead of silently truncating labels.
+
+    ``astype(int64)`` would collapse distinct float labels (1.5 and 1.9 both
+    become 1), manufacturing hits downstream; the rest of the library raises
+    ``TypeError`` on float traces, so the streaming layer must too.
+    """
+    if column.size and not np.issubdtype(column.dtype, np.integer):
+        raise TypeError(f"{name} must be integers, got dtype {column.dtype}")
+
+
+@dataclass(frozen=True)
+class StreamingTrace:
+    """A columnar access trace iterated in bounded-memory segments.
+
+    ``items`` holds the access labels and ``tenant_ids`` the owning tenant
+    per access (all zeros for a single-tenant trace); either may be a
+    ``numpy.memmap``, in which case :meth:`segments` is what keeps residency
+    bounded — each yielded pair is an in-memory *copy* of one segment, so no
+    reference into the mapped file escapes to the consumer.
+
+    Examples
+    --------
+    >>> trace = as_streaming([3, 1, 4, 1, 5, 9, 2, 6], segment=3)
+    >>> [items.tolist() for items, _ids in trace.segments()]
+    [[3, 1, 4], [1, 5, 9], [2, 6]]
+    """
+
+    items: np.ndarray
+    tenant_ids: np.ndarray
+    segment: int = DEFAULT_SEGMENT
+
+    def __post_init__(self):
+        if self.items.ndim != 1 or self.tenant_ids.ndim != 1:
+            raise ValueError("items and tenant_ids must be one-dimensional")
+        if self.items.shape != self.tenant_ids.shape:
+            raise ValueError(f"items and tenant_ids must align, got {self.items.shape} vs {self.tenant_ids.shape}")
+        for name, column in (("items", self.items), ("tenant_ids", self.tenant_ids)):
+            _check_integer_column(column, name)
+        if int(self.segment) < 1:
+            raise ValueError(f"segment must be >= 1, got {self.segment}")
+
+    def __len__(self) -> int:
+        return int(self.items.size)
+
+    @property
+    def num_tenants(self) -> int:
+        """One more than the largest tenant id (1 for an empty trace)."""
+        return int(self.tenant_ids.max()) + 1 if len(self) else 1
+
+    def segments(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(items, tenant_ids)`` copies of at most ``segment`` references."""
+        for start in range(0, len(self), int(self.segment)):
+            stop = start + int(self.segment)
+            yield (
+                np.array(self.items[start:stop], dtype=np.int64, copy=True),
+                np.array(self.tenant_ids[start:stop], dtype=np.int64, copy=True),
+            )
+
+    def fill(self, start: int, items: Sequence[int] | np.ndarray, tenant_ids: Sequence[int] | np.ndarray) -> int:
+        """Write one segment at position ``start`` (for writable/memmap traces).
+
+        Returns the position after the written segment, so producers can
+        thread it through a fill loop.
+        """
+        items = np.asarray(items)
+        tenant_ids = np.asarray(tenant_ids)
+        if items.shape != tenant_ids.shape or items.ndim != 1:
+            raise ValueError("fill needs aligned one-dimensional items and tenant_ids")
+        _check_integer_column(items, "items")
+        _check_integer_column(tenant_ids, "tenant_ids")
+        items = items.astype(np.int64, copy=False)
+        tenant_ids = tenant_ids.astype(np.int64, copy=False)
+        stop = int(start) + int(items.size)
+        if not 0 <= int(start) <= stop <= len(self):
+            raise ValueError(f"segment [{start}, {stop}) does not fit a {len(self)}-reference trace")
+        self.items[int(start) : stop] = items
+        self.tenant_ids[int(start) : stop] = tenant_ids
+        return stop
+
+    def flush(self) -> None:
+        """Flush memmap-backed columns to disk (no-op for plain arrays)."""
+        for column in (self.items, self.tenant_ids):
+            if isinstance(column, np.memmap):
+                column.flush()
+
+
+def _column_paths(path: str | Path) -> tuple[Path, Path]:
+    stem = Path(path)
+    return stem.with_name(stem.name + ".items.npy"), stem.with_name(stem.name + ".tenants.npy")
+
+
+def create_memmap_trace(path: str | Path, length: int, *, segment: int = DEFAULT_SEGMENT) -> StreamingTrace:
+    """Allocate a writable memmap-backed trace of ``length`` references.
+
+    Creates ``<path>.items.npy`` and ``<path>.tenants.npy`` (standard
+    ``.npy`` files) and returns the :class:`StreamingTrace` over the mapped
+    columns; fill it with :meth:`StreamingTrace.fill` and
+    :meth:`StreamingTrace.flush`, then reopen read-only with
+    :func:`open_memmap_trace`.
+    """
+    if int(length) < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    items_path, tenants_path = _column_paths(path)
+    items = np.lib.format.open_memmap(items_path, mode="w+", dtype=np.int64, shape=(int(length),))
+    tenants = np.lib.format.open_memmap(tenants_path, mode="w+", dtype=np.int64, shape=(int(length),))
+    return StreamingTrace(items=items, tenant_ids=tenants, segment=int(segment))
+
+
+def open_memmap_trace(path: str | Path, *, segment: int = DEFAULT_SEGMENT) -> StreamingTrace:
+    """Reopen a trace written by :func:`create_memmap_trace`, memory-mapped read-only."""
+    items_path, tenants_path = _column_paths(path)
+    items = np.load(items_path, mmap_mode="r")
+    tenants = np.load(tenants_path, mmap_mode="r")
+    return StreamingTrace(items=items, tenant_ids=tenants, segment=int(segment))
+
+
+def as_streaming(
+    trace: Trace | Sequence[int] | np.ndarray,
+    *,
+    tenant_ids: Sequence[int] | np.ndarray | None = None,
+    segment: int = DEFAULT_SEGMENT,
+) -> StreamingTrace:
+    """Wrap an in-memory trace (or raw access array) in the streaming interface.
+
+    Without ``tenant_ids`` every access belongs to tenant 0, which is how a
+    single-stream trace replays through the multi-tenant data plane.
+    """
+    items = trace.accesses if isinstance(trace, Trace) else np.asarray(trace)
+    if items.ndim != 1:
+        raise ValueError(f"trace must be one-dimensional, got shape {items.shape}")
+    _check_integer_column(items, "items")
+    items = items.astype(np.int64, copy=False)
+    if tenant_ids is None:
+        ids = np.zeros(items.size, dtype=np.int64)
+    else:
+        ids = np.asarray(tenant_ids)
+        _check_integer_column(ids, "tenant_ids")
+        ids = ids.astype(np.int64, copy=False)
+    return StreamingTrace(items=items, tenant_ids=ids, segment=int(segment))

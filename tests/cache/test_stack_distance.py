@@ -8,12 +8,14 @@ import pytest
 from repro.cache import (
     COLD,
     LRUCache,
+    StackDistanceStream,
     hit_counts,
     reuse_intervals,
     stack_distance_histogram,
     stack_distances,
     stack_distances_naive,
     stack_distances_vectorized,
+    stack_distances_with_previous,
 )
 from repro.core import random_permutation, stack_distances as periodic_stack_distances
 from repro.trace import PeriodicTrace, zipfian_trace
@@ -140,3 +142,63 @@ class TestHistogramAndHits:
     def test_all_cold_trace(self):
         hits = hit_counts(list(range(10)))
         assert hits.tolist() == [0] * 10
+
+
+class TestStackDistanceStream:
+    def test_single_chunk_equals_one_shot(self, rng):
+        trace = zipfian_trace(400, 40, rng=rng).accesses
+        assert np.array_equal(StackDistanceStream().feed(trace), stack_distances_vectorized(trace))
+
+    def test_chunked_is_bit_identical_for_every_chunk_size(self, rng):
+        trace = zipfian_trace(500, 35, rng=rng).accesses
+        want = stack_distances_vectorized(trace)
+        for chunk in (1, 2, 3, 7, 64, 499, 500, 1000):
+            stream = StackDistanceStream()
+            parts = [stream.feed(trace[s : s + chunk]) for s in range(0, trace.size, chunk)]
+            assert np.array_equal(np.concatenate(parts), want), f"chunk={chunk}"
+
+    def test_empty_chunks_are_no_ops(self):
+        stream = StackDistanceStream()
+        assert stream.feed([]).size == 0
+        stream.feed([1, 2, 1])
+        clock = stream.clock
+        assert stream.feed(np.zeros(0, dtype=np.int64)).size == 0
+        assert stream.clock == clock
+
+    def test_clock_and_footprint_track_the_stream(self):
+        stream = StackDistanceStream()
+        stream.feed([5, 5, 6])
+        stream.feed([7, 5])
+        assert stream.clock == 5
+        assert stream.footprint == 3
+
+    def test_cross_chunk_reuse_gets_whole_stream_distance(self):
+        stream = StackDistanceStream()
+        stream.feed([1, 2])
+        # [1, 2, | 2, 3, 2, 1]: distances 1, COLD, 2, 3 for the second chunk
+        assert stream.feed([2, 3, 2, 1]).tolist() == [1, COLD, 2, 3]
+
+    def test_rejects_non_integer_and_multidimensional_chunks(self):
+        stream = StackDistanceStream()
+        with pytest.raises(TypeError):
+            stream.feed(np.asarray([1.5, 2.5]))
+        with pytest.raises(ValueError):
+            stream.feed(np.zeros((2, 2), dtype=np.int64))
+
+
+class TestStackDistancesWithPrevious:
+    def test_previous_positions(self):
+        distances, previous = stack_distances_with_previous([4, 7, 4, 4, 7])
+        assert previous.tolist() == [-1, -1, 0, 2, 1]
+        assert distances.tolist() == [COLD, COLD, 2, 1, 2]
+
+    def test_suffix_identity_behind_per_phase_profiles(self, rng):
+        """Accesses whose previous access falls inside a suffix keep their
+        whole-stream distance there; earlier reuses become cold — the
+        identity the replay engine uses for free oracle profiles."""
+        trace = zipfian_trace(300, 25, rng=rng).accesses
+        distances, previous = stack_distances_with_previous(trace)
+        for start in (0, 1, 57, 150, 299):
+            suffix = stack_distances_vectorized(trace[start:])
+            adjusted = np.where(previous[start:] >= start, distances[start:], np.int64(COLD))
+            assert np.array_equal(adjusted, suffix), f"suffix start={start}"

@@ -99,6 +99,24 @@ class TestReplayEndToEnd:
         assert parallel.summary() == result.summary()
         assert parallel.rows() == result.rows()
 
+    def test_reference_engine_is_bit_identical(self, workload, result):
+        """The per-event OrderedDict data plane and the batch kernels must
+        agree on every epoch of every lane (and across worker counts)."""
+        reference = run_replay(workload, JOB, engine="reference", workers=2)
+        assert reference.rows() == result.rows()
+        assert reference.summary() == result.summary()
+        assert reference.static_allocation == result.static_allocation
+        assert reference.oracle_allocations == result.oracle_allocations
+
+    def test_oracle_allocations_are_per_phase_and_respect_budget(self, workload, result):
+        assert len(result.oracle_allocations) == workload.num_phases
+        for allocation in result.oracle_allocations:
+            assert sum(allocation) <= JOB.budget
+
+    def test_unknown_engine_rejected_before_any_work(self, workload):
+        with pytest.raises(ValueError):
+            run_replay(workload, JOB, engine="turbo")
+
 
 class TestTenantChurn:
     def test_visitor_gets_capacity_only_while_present(self):

@@ -13,6 +13,13 @@ This module pits them against each other:
   stack-distance implementations (vectorised vs. Fenwick vs. naive stack);
 * the windowed-SHARDS sketch against the exact MRC on stationary traces
   (MAE ≤ 0.02);
+* the batch partitioned-LRU data plane (:mod:`repro.sim.partitioned`)
+  against the per-event ``OrderedDict`` reference on hypothesis-generated
+  drifting traffic with random reallocation schedules (hits, misses,
+  occupancies at shrink boundaries, per-segment counts), the chunked
+  :class:`~repro.cache.stack_distance.StackDistanceStream` against the
+  whole-array pass, and the ``batch`` vs ``reference`` replay engines end to
+  end;
 * metamorphic properties: the optimal partition *value* is invariant under
   tenant order permutation, MRCs are monotone non-increasing in capacity,
   and a windowed profile of a concatenated trace with decay → 0 equals the
@@ -30,11 +37,14 @@ from repro.alloc import DiscretizedMRC, dp_allocate, total_misses
 from repro.cache import FIFOCache, LRUCache, SetAssociativeCache
 from repro.cache.mrc import mrc_from_trace
 from repro.cache.stack_distance import (
+    COLD,
+    StackDistanceStream,
     stack_distances,
     stack_distances_naive,
     stack_distances_vectorized,
+    stack_distances_with_previous,
 )
-from repro.online import WindowedShardsSketch, pooled_curve
+from repro.online import OnlineJob, PartitionedLRU, WindowedShardsSketch, pooled_curve, run_replay
 from repro.profiling.accuracy import compare_curves
 from repro.sim.kernels import (
     _DEVIATE_SALT,
@@ -44,7 +54,9 @@ from repro.sim.kernels import (
     random_sweep_hits,
     set_associative_sweep_hits,
 )
+from repro.sim.partitioned import BatchPartitionedLRU, TenantDistanceStreams
 from repro.trace import zipfian_trace
+from repro.trace.drift import three_phase_pair
 
 # --------------------------------------------------------------------------- #
 # Reference implementations and strategies
@@ -189,6 +201,90 @@ class TestWindowedVsExact:
         sketch = WindowedShardsSketch(window=2000, rate=1.0)
         sketch.update(trace)
         assert compare_curves(sketch.curve(), mrc_from_trace(trace[-2000:])).max_absolute_error == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Batch partitioned-LRU data plane vs. the OrderedDict reference
+# --------------------------------------------------------------------------- #
+# One replay schedule: interleaved per-segment event batches and (possibly
+# shrinking) reallocations, the exact shape the online engine produces.
+replay_schedules = st.lists(
+    st.tuples(
+        st.lists(  # one segment of (tenant, item) events
+            st.tuples(st.integers(min_value=0, max_value=2), st.integers(min_value=0, max_value=12)),
+            min_size=0,
+            max_size=40,
+        ),
+        st.one_of(  # an optional resize applied after the segment
+            st.none(),
+            st.lists(st.integers(min_value=0, max_value=8), min_size=3, max_size=3),
+        ),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestPartitionedKernelDifferential:
+    """The batch kernel is bit-identical to the per-event reference on every
+    schedule of drifting traffic and random reallocations — hits, misses,
+    per-segment counts, and the occupancies left behind by shrink evictions."""
+
+    @given(st.lists(st.integers(min_value=0, max_value=8), min_size=3, max_size=3), replay_schedules)
+    def test_batch_kernel_matches_ordereddict_reference(self, initial, schedule):
+        reference = PartitionedLRU(initial)
+        batch = BatchPartitionedLRU(initial)
+        streams = TenantDistanceStreams(3)
+        for events, resize in schedule:
+            before = (reference.hits, reference.misses)
+            for tenant, item in events:
+                reference.access(tenant, item)
+            items = np.asarray([item for _tenant, item in events], dtype=np.int64)
+            tenants = np.asarray([tenant for tenant, _item in events], dtype=np.int64)
+            segment_hits, segment_misses = batch.run_segment(streams.feed(items, tenants))
+            assert segment_hits == reference.hits - before[0]
+            assert segment_misses == reference.misses - before[1]
+            assert batch.occupancies == reference.occupancies
+            if resize is not None:
+                reference.resize(resize)
+                batch.resize(resize)
+                # shrink evictions: the kernel's occupancy clamp must match
+                # the reference's LRU-end evictions block for block
+                assert batch.occupancies == reference.occupancies
+        assert (batch.hits, batch.misses) == (reference.hits, reference.misses)
+
+    @given(traces, st.integers(min_value=1, max_value=7))
+    def test_streamed_distances_match_whole_array(self, trace, chunk):
+        arr = np.asarray(trace, dtype=np.int64)
+        stream = StackDistanceStream()
+        parts = [stream.feed(arr[start : start + chunk]) for start in range(0, arr.size, chunk)]
+        assert np.array_equal(np.concatenate(parts), stack_distances_vectorized(arr))
+
+    @given(traces)
+    def test_previous_positions_are_consistent_with_distances(self, trace):
+        distances, previous = stack_distances_with_previous(trace)
+        arr = np.asarray(trace, dtype=np.int64)
+        for position in range(arr.size):
+            if distances[position] == COLD:
+                assert previous[position] == -1
+            else:
+                prev = int(previous[position])
+                assert arr[prev] == arr[position]
+                assert not np.any(arr[prev + 1 : position] == arr[position])
+
+
+class TestReplayEngineDifferential:
+    def test_batch_and_reference_engines_agree_end_to_end(self):
+        """The full online run — profiles, detector, controller, all three
+        lanes — is bit-identical between the vectorised and per-event data
+        planes, per epoch and in aggregate."""
+        workload = three_phase_pair(3000, seed=7)
+        job = OnlineJob(budget=600, window=3000, epoch=1000, method="hull", rate=0.5)
+        batch = run_replay(workload, job)
+        reference = run_replay(workload, job, engine="reference")
+        assert batch.rows() == reference.rows()
+        assert batch.summary() == reference.summary()
+        assert batch.oracle_allocations == reference.oracle_allocations
 
 
 # --------------------------------------------------------------------------- #

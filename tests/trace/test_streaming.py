@@ -1,0 +1,96 @@
+"""Unit tests for the chunked columnar / memmap streaming trace layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace import (
+    StreamingTrace,
+    Trace,
+    as_streaming,
+    create_memmap_trace,
+    open_memmap_trace,
+)
+
+
+class TestStreamingTrace:
+    def test_segments_cover_the_trace_in_order(self):
+        trace = as_streaming(np.arange(10), segment=4)
+        segments = list(trace.segments())
+        assert [items.tolist() for items, _ids in segments] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        assert all(ids.tolist() == [0] * items.size for items, ids in segments)
+
+    def test_segments_are_copies_not_views(self):
+        backing = np.arange(6)
+        trace = as_streaming(backing, segment=3)
+        items, _ids = next(trace.segments())
+        items[0] = 999
+        assert backing[0] == 0
+
+    def test_tenant_ids_and_num_tenants(self):
+        trace = as_streaming([1, 2, 3, 4], tenant_ids=[0, 1, 1, 2], segment=2)
+        assert trace.num_tenants == 3
+        assert len(trace) == 4
+
+    def test_accepts_trace_objects(self):
+        assert len(as_streaming(Trace(np.arange(5)))) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            as_streaming([1, 2], tenant_ids=[0])
+        with pytest.raises(ValueError):
+            as_streaming([1, 2], segment=0)
+        with pytest.raises(ValueError):
+            StreamingTrace(items=np.zeros((2, 2), dtype=np.int64), tenant_ids=np.zeros((2, 2), dtype=np.int64))
+
+    def test_float_labels_rejected_not_truncated(self):
+        """1.5 and 1.9 are distinct items; astype would collapse them into
+        spurious hits, so non-integer columns must raise like the rest of
+        the library."""
+        with pytest.raises(TypeError):
+            as_streaming(np.asarray([1.5, 1.9, 2.7]))
+        with pytest.raises(TypeError):
+            as_streaming([1, 2], tenant_ids=np.asarray([0.0, 0.5]))
+        with pytest.raises(TypeError):
+            StreamingTrace(items=np.asarray([1.5]), tenant_ids=np.zeros(1, dtype=np.int64))
+        trace = as_streaming(np.zeros(4, dtype=np.int64))
+        with pytest.raises(TypeError):
+            trace.fill(0, np.asarray([1.5, 2.5]), [0, 0])
+
+    def test_fill_bounds_checked(self):
+        trace = as_streaming(np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError):
+            trace.fill(3, [1, 2], [0, 0])
+        with pytest.raises(ValueError):
+            trace.fill(0, [1, 2], [0])
+
+
+class TestMemmapRoundTrip:
+    def test_round_trip_segment_by_segment(self, tmp_path):
+        rng = np.random.default_rng(7)
+        items = rng.integers(0, 1000, size=5000)
+        ids = rng.integers(0, 2, size=5000)
+        writable = create_memmap_trace(tmp_path / "trace", length=5000, segment=512)
+        position = 0
+        for start in range(0, 5000, 1024):
+            position = writable.fill(position, items[start : start + 1024], ids[start : start + 1024])
+        writable.flush()
+
+        reopened = open_memmap_trace(tmp_path / "trace", segment=700)
+        assert len(reopened) == 5000
+        assert isinstance(reopened.items, np.memmap)
+        got_items = np.concatenate([chunk for chunk, _ in reopened.segments()])
+        got_ids = np.concatenate([chunk for _, chunk in reopened.segments()])
+        assert np.array_equal(got_items, items)
+        assert np.array_equal(got_ids, ids)
+
+    def test_columns_are_plain_npy_files(self, tmp_path):
+        writable = create_memmap_trace(tmp_path / "t", length=8)
+        writable.fill(0, np.arange(8), np.zeros(8, dtype=np.int64))
+        writable.flush()
+        assert np.array_equal(np.load(tmp_path / "t.items.npy"), np.arange(8))
+
+    def test_create_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            create_memmap_trace(tmp_path / "bad", length=0)
