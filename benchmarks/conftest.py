@@ -29,3 +29,12 @@ def results_dir() -> Path:
     """Directory where benchmarks drop their CSV series."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def perf_trajectory(results_dir: Path) -> Path:
+    """The unified perf-trajectory JSONL every bench records its headline
+    numbers into (via :func:`repro.obs.record_perf`); CI compares it against
+    the committed ``benchmarks/perf_baseline.json`` with
+    ``repro metrics --baseline`` as a warn-only regression gate."""
+    return results_dir / "perf_trajectory.jsonl"

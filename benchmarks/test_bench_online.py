@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import format_table, write_csv
+from repro.obs import record_perf
 from repro.online import OnlineJob, run_replay
 from repro.trace.drift import three_phase_pair
 
@@ -32,7 +33,7 @@ JOB = OnlineJob(
 )
 
 
-def test_adaptive_beats_static_within_bounded_profiling_work(benchmark, results_dir):
+def test_adaptive_beats_static_within_bounded_profiling_work(benchmark, results_dir, perf_trajectory):
     workload = three_phase_pair(LENGTH_PER_PHASE, seed=SEED)
     result = run_replay(workload, JOB)
 
@@ -76,6 +77,7 @@ def test_adaptive_beats_static_within_bounded_profiling_work(benchmark, results_
     print(format_table([summary], title="online adaptation scoreboard"))
     write_csv(results_dir / "online_epoch_series.csv", rows)
     write_csv(results_dir / "online_summary.csv", [summary])
+    record_perf(perf_trajectory, "bench_online", "win_vs_static", result.win_vs_static, unit="miss-ratio")
     assert np.isfinite([row["adaptive"] for row in rows]).all()
 
     benchmark(run_replay, workload, JOB)

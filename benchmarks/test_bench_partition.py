@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.alloc import PartitionJob, partition_composed
 from repro.analysis import format_table, write_csv
+from repro.obs import record_perf
 from repro.profiling.shards import sample_trace
 from repro.trace import TenantSpec, compose_tenants, stream_copy, zipfian_trace
 from repro.trace.trace import PeriodicTrace
@@ -38,7 +39,7 @@ def build_workload():
     return tenants, composed
 
 
-def test_shards_allocation_matches_exact_at_a_fraction_of_the_work(benchmark, results_dir):
+def test_shards_allocation_matches_exact_at_a_fraction_of_the_work(benchmark, results_dir, perf_trajectory):
     tenants, composed = build_workload()
 
     exact_job = PartitionJob(tenants=tenants, budget=BUDGET, method="hull", mode="exact", seed=SEED)
@@ -74,6 +75,7 @@ def test_shards_allocation_matches_exact_at_a_fraction_of_the_work(benchmark, re
     # Both must still beat the naive baselines (the reason partitioning runs).
     assert exact.win_vs_proportional > 0.0
     assert sampled.win_vs_proportional > 0.0
+    record_perf(perf_trajectory, "bench_partition", "work_ratio", work_ratio, unit="x", rate=RATE)
 
     rows = []
     for label, result, work in (("exact", exact, exact_work), ("shards", sampled, shards_work)):

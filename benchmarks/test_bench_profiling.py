@@ -15,6 +15,7 @@ from __future__ import annotations
 import time
 
 from repro.analysis import format_table, run_sampling_ablation, write_csv
+from repro.obs import record_perf
 from repro.profiling import parallel_reuse_histogram, shards_mrc
 from repro.trace import zipfian_trace
 
@@ -24,7 +25,7 @@ EXPONENT = 0.8
 SEED = 7
 
 
-def test_profiling_accuracy_cost_frontier(benchmark, results_dir):
+def test_profiling_accuracy_cost_frontier(benchmark, results_dir, perf_trajectory):
     trace = zipfian_trace(TRACE_LENGTH, FOOTPRINT, exponent=EXPONENT, rng=SEED).accesses
     rows = run_sampling_ablation(TRACE_LENGTH, FOOTPRINT, exponent=EXPONENT, rates=(0.1, 0.01), rng=SEED)
 
@@ -49,6 +50,8 @@ def test_profiling_accuracy_cost_frontier(benchmark, results_dir):
         )
     )
     write_csv(results_dir / "profiling_frontier.csv", rows)
+    record_perf(perf_trajectory, "bench_profiling", "shards_speedup", shards_coarse["speedup"], unit="x", rate=0.01)
+    record_perf(perf_trajectory, "bench_profiling", "streamed_speedup", streamed["speedup"], unit="x")
 
     # Time the cheap kernel under pytest-benchmark for regression tracking.
     benchmark(shards_mrc, trace, 0.01)

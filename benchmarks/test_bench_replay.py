@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.analysis import format_table, write_csv
 from repro.cache.stack_distance import stack_distances_with_previous
+from repro.obs import record_perf
 from repro.online import OnlineJob, run_replay
 from repro.online.replay import PartitionedLRU, _initial_split
 from repro.sim.partitioned import (
@@ -106,7 +107,7 @@ def _drive(simulators, advance, stops, epoch_ends, adaptive_at, oracle_at):
     return series
 
 
-def test_batch_data_plane_beats_per_event_replay_10x(results_dir):
+def test_batch_data_plane_beats_per_event_replay_10x(results_dir, perf_trajectory):
     workload = three_phase_pair(LENGTH_PER_PHASE, seed=SEED)
     composed = workload.composed
     items, ids = composed.trace.accesses, composed.tenant_ids
@@ -224,6 +225,15 @@ def test_batch_data_plane_beats_per_event_replay_10x(results_dir):
             "end_to_end_speedup": reference_end_to_end / batch_end_to_end,
         },
     )
+    record_perf(perf_trajectory, "bench_replay", "speedup", speedup, unit="x", quick=QUICK)
+    record_perf(
+        perf_trajectory,
+        "bench_replay",
+        "batch_lane_refs_per_sec",
+        lane_refs / batch_seconds,
+        unit="refs/s",
+        quick=QUICK,
+    )
 
 
 def _timed(fn) -> float:
@@ -232,7 +242,7 @@ def _timed(fn) -> float:
     return time.perf_counter() - start
 
 
-def test_memmap_trace_replays_in_bounded_memory(results_dir, tmp_path):
+def test_memmap_trace_replays_in_bounded_memory(results_dir, perf_trajectory, tmp_path):
     rng = np.random.default_rng(SEED)
     writable = create_memmap_trace(tmp_path / "big", length=MEMMAP_REFS, segment=MEMMAP_SEGMENT)
     position = 0
@@ -275,3 +285,6 @@ def test_memmap_trace_replays_in_bounded_memory(results_dir, tmp_path):
     print(format_table([row], title="memmap streaming replay (bounded memory)"))
     write_csv(results_dir / "replay_memmap.csv", [row])
     _record(results_dir, "memmap", row)
+    record_perf(
+        perf_trajectory, "bench_replay", "memmap_refs_per_sec", MEMMAP_REFS / seconds, unit="refs/s", quick=QUICK
+    )

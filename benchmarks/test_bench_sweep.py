@@ -17,6 +17,7 @@ import time
 import numpy as np
 
 from repro.analysis import format_table, write_csv
+from repro.obs import record_perf
 from repro.sim import compact_trace, fifo_sweep_hits, lru_sweep_hits, naive_sweep_hits
 from repro.trace import zipfian_trace
 
@@ -27,7 +28,7 @@ SEED = 7
 NUM_CAPACITIES = 64
 
 
-def test_lru_single_pass_sweep_speedup(benchmark, results_dir):
+def test_lru_single_pass_sweep_speedup(benchmark, results_dir, perf_trajectory):
     trace = zipfian_trace(TRACE_LENGTH, FOOTPRINT, exponent=EXPONENT, rng=SEED).accesses
     capacities = np.arange(1, NUM_CAPACITIES + 1) * (FOOTPRINT // NUM_CAPACITIES)
     assert capacities.size == NUM_CAPACITIES
@@ -110,5 +111,6 @@ def test_lru_single_pass_sweep_speedup(benchmark, results_dir):
         )
     )
     write_csv(results_dir / "sweep_speedup.csv", rows)
+    record_perf(perf_trajectory, "bench_sweep", "speedup", speedup, unit="x", policy="lru")
 
     benchmark(lru_sweep_hits, trace, capacities)

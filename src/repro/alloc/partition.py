@@ -27,11 +27,11 @@ shared cache and over the proportional split.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import get_registry, span
 from ..profiling.engine import ProfileJob, run_jobs
 from ..profiling.pool import check_workers
 from ..sim.kernels import lru_sweep_hits
@@ -311,9 +311,9 @@ def partition_composed(
     tenant_traces = [composed.tenant_trace(t) for t in range(composed.num_tenants)]
 
     if profiles is None:
-        start = time.perf_counter()
-        profiles = profile_tenants(job, composed, workers=workers)
-        profile_seconds = time.perf_counter() - start
+        with span("partition.profile", mode=job.mode) as timer:
+            profiles = profile_tenants(job, composed, workers=workers)
+        profile_seconds = timer.seconds
     else:
         if len(profiles) != composed.num_tenants:
             raise ValueError(f"got {len(profiles)} profiles for {composed.num_tenants} tenants")
@@ -324,9 +324,11 @@ def partition_composed(
         raise ValueError(f"baselines were simulated for budget {baselines.budget}, job has {job.budget}")
 
     budget_units = job.budget // job.unit
-    curves = [discretize_curve(profile.curve, job.budget, unit=job.unit) for profile in profiles]
-    units = _ALLOCATORS[job.method](curves, budget_units)
-    capacities = [int(u) * job.unit for u in units]
+    with span("partition.allocate", method=job.method):
+        curves = [discretize_curve(profile.curve, job.budget, unit=job.unit) for profile in profiles]
+        units = _ALLOCATORS[job.method](curves, budget_units)
+        capacities = [int(u) * job.unit for u in units]
+    get_registry().counter("partition.tenants", method=job.method).add(composed.num_tenants)
 
     total = len(composed.trace)
     tenants: list[TenantAllocation] = []

@@ -97,6 +97,7 @@ def write_csv(
 ) -> Path:
     """Write dictionaries as CSV (headers default to the union of keys, in order)."""
     path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     if not rows:
         path.write_text("", encoding="utf-8")
         return path
@@ -106,7 +107,6 @@ def write_csv(
             for key in row:
                 if key not in headers:
                     headers.append(key)
-    path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.DictWriter(handle, fieldnames=list(headers))
         writer.writeheader()

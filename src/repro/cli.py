@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Installed as ``python -m repro`` (or the ``repro`` console script); nine
+Installed as ``python -m repro`` (or the ``repro`` console script); ten
 subcommands cover the common workflows:
 
 ``analyze``
@@ -48,6 +48,19 @@ subcommands cover the common workflows:
 ``generate``
     Write a synthetic trace file (re-traversals, STREAM, Zipfian) for use with
     ``analyze``/``mrc``/``profile`` or external tools.
+``metrics``
+    Summarize a metrics JSONL file (written by ``--metrics`` on the
+    ``profile``/``sweep``/``partition``/``online`` subcommands, or by the
+    benchmark suite's perf trajectory) into a scoreboard; ``--baseline``
+    additionally compares recorded perf metrics against a committed baseline
+    and warns on >30% regressions.
+
+The four engine subcommands accept ``--metrics PATH``: the run records
+counters, span timings, histograms and per-epoch series into a
+:class:`repro.obs.MetricsRegistry` and exports them (with a
+:class:`repro.obs.RunManifest` provenance line) as JSON Lines.  Metrics
+never change any result — rows, summaries and allocations are bit-identical
+with metrics on or off.
 
 Examples
 --------
@@ -66,6 +79,8 @@ Examples
     python -m repro chain 8 --labeling miss-ratio
     python -m repro experiment fig1
     python -m repro experiment sampling
+    python -m repro online --length 6000 --budget 1150 --window 6000 --epoch 2000 --metrics m/online.jsonl
+    python -m repro metrics m/online.jsonl
 """
 
 from __future__ import annotations
@@ -114,11 +129,11 @@ def _cmd_mrc(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    import time as _time
     from pathlib import Path
 
     from .analysis.reporting import format_table, write_csv
     from .cache.mrc import mrc_from_trace
+    from .obs import span
     from .profiling.accuracy import compare_curves
     from .profiling.engine import ProfileJob, run_jobs
     from .trace.io import read_text
@@ -157,12 +172,11 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             "seconds": round(result.seconds, 4),
         }
         if args.compare_exact:
-            start = _time.perf_counter()
-            exact = mrc_from_trace(job.trace, max_cache_size=args.max_size)
-            exact_seconds = _time.perf_counter() - start
+            with span("profiling.compare_exact") as timer:
+                exact = mrc_from_trace(job.trace, max_cache_size=args.max_size)
             comparison = compare_curves(result.curve, exact)
-            row["exact_seconds"] = round(exact_seconds, 4)
-            row["speedup"] = round(exact_seconds / max(result.seconds, 1e-9), 1)
+            row["exact_seconds"] = round(timer.seconds, 4)
+            row["speedup"] = round(timer.seconds / max(result.seconds, 1e-9), 1)
             row["mae"] = round(comparison.mean_absolute_error, 5)
             row["max_error"] = round(comparison.max_absolute_error, 5)
         rows.append(row)
@@ -547,6 +561,53 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .obs import compare_to_baseline, load_perf, read_jsonl, summarize_records
+
+    path = Path(args.metrics_file)
+    if not path.exists():
+        print(f"error: no such metrics file: {path}", file=sys.stderr)
+        return 2
+    records = read_jsonl(path)
+    typed = [r for r in records if "type" in r]
+    perf = [r for r in records if "type" not in r and "benchmark" in r]
+    if typed:
+        print(summarize_records(typed))
+    if perf:
+        from .analysis.reporting import format_table
+
+        rows = [
+            {
+                "benchmark": r["benchmark"],
+                "metric": r["metric"],
+                "value": r["value"],
+                "unit": r.get("unit", ""),
+                "quick": r.get("quick", False),
+            }
+            for r in sorted(perf, key=lambda r: (str(r["benchmark"]), str(r["metric"])))
+        ]
+        print(format_table(rows, title="perf trajectory"))
+    if not typed and not perf:
+        print("(no records)")
+
+    if args.baseline:
+        current = load_perf(path)
+        baseline = load_perf(args.baseline)
+        if not baseline:
+            print(f"warning: no baseline records in {args.baseline}", file=sys.stderr)
+        warnings = compare_to_baseline(current, baseline, tolerance=args.tolerance)
+        for warning in warnings:
+            print(warning)
+        if not warnings:
+            matched = {r.key() for r in current} & {r.key() for r in baseline}
+            print(f"perf trajectory within ±{args.tolerance:.0%} of baseline ({len(matched)} metrics compared)")
+        # Warn-only by design: the CI step surfaces regressions without
+        # failing the build (quick-mode numbers are noisy).
+    return 0
+
+
 def _cmd_generate(args: argparse.Namespace) -> int:
     from .trace.io import write_text
 
@@ -612,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also compute the exact curve and report error and speedup",
     )
+    profile.add_argument("--metrics", default=None, help="record run metrics to this JSONL file")
     profile.set_defaults(func=_cmd_profile)
 
     sweep = subparsers.add_parser("sweep", help="miss ratios of many policies x capacities via the sweep engine")
@@ -630,6 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0, help="seed of the random-replacement policy")
     sweep.add_argument("--workers", type=int, default=1, help="process pool size (never changes the results)")
     sweep.add_argument("--csv", default=None, help="write the sweep rows to this CSV file")
+    sweep.add_argument("--metrics", default=None, help="record run metrics to this JSONL file")
     sweep.set_defaults(func=_cmd_sweep)
 
     partition = subparsers.add_parser("partition", help="divide a shared cache among tenants via MRC allocation")
@@ -661,6 +724,7 @@ def build_parser() -> argparse.ArgumentParser:
     partition.add_argument("--profile-seed", type=int, default=0, help="base hash seed for SHARDS sampling")
     partition.add_argument("--workers", type=int, default=1, help="process pool size for per-tenant profiling")
     partition.add_argument("--csv", default=None, help="write per-tenant rows plus a TOTAL row to this CSV file")
+    partition.add_argument("--metrics", default=None, help="record run metrics to this JSONL file")
     partition.set_defaults(func=_cmd_partition)
 
     online = subparsers.add_parser("online", help="adaptive re-partitioning on a drifting multi-tenant workload")
@@ -707,6 +771,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay data plane: vectorised batch kernels or the per-event reference (bit-identical)",
     )
     online.add_argument("--csv", default=None, help="write per-epoch rows plus a TOTAL row to this CSV file")
+    online.add_argument("--metrics", default=None, help="record run metrics to this JSONL file")
     online.set_defaults(func=_cmd_online)
 
     chain = subparsers.add_parser("chain", help="run ChainFind on S_m")
@@ -724,6 +789,21 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
     experiment.set_defaults(func=_cmd_experiment)
 
+    metrics = subparsers.add_parser("metrics", help="summarize a metrics JSONL file into a scoreboard")
+    metrics.add_argument("metrics_file", help="JSONL file written by --metrics or the benchmark perf trajectory")
+    metrics.add_argument(
+        "--baseline",
+        default=None,
+        help="committed perf baseline (JSON array or JSONL) to compare recorded perf metrics against",
+    )
+    metrics.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="fractional regression tolerance of the baseline comparison (default 0.30)",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
+
     generate = subparsers.add_parser("generate", help="write a synthetic trace file")
     generate.add_argument("kind", choices=["cyclic", "sawtooth", "random-retraversal", "zipf", "stream"])
     generate.add_argument("--items", type=int, default=64, help="number of distinct items")
@@ -737,11 +817,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_with_metrics(args: argparse.Namespace, argv: Sequence[str] | None) -> int:
+    """Run one subcommand inside a recording registry and export the JSONL.
+
+    The registry is write-only for the engines — recording never changes a
+    result — so the exit code and every printed row are identical to a run
+    without ``--metrics`` (asserted in ``tests/test_differential.py``).
+    """
+    from .obs import MetricsRegistry, RunManifest, recording, write_jsonl
+
+    registry = MetricsRegistry()
+    with recording(registry):
+        code = args.func(args)
+    manifest = RunManifest.collect(
+        args.command,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        seed=getattr(args, "seed", None),
+    )
+    path = write_jsonl(args.metrics, registry, manifest)
+    print(f"wrote metrics to {path}")
+    return code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        if getattr(args, "metrics", None):
+            return _run_with_metrics(args, argv)
         return args.func(args)
     except BrokenPipeError:
         # stdout was closed early (e.g. piping into `head`); exit quietly like

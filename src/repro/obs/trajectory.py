@@ -1,0 +1,153 @@
+"""Perf trajectory: structured benchmark records and baseline comparison.
+
+The benchmark suite appends its headline numbers here as uniform records —
+``{benchmark, metric, value, unit, labels, quick, direction}`` — into one
+``perf_trajectory.jsonl`` under ``benchmarks/results/``, replacing per-bench
+ad-hoc JSON as the tracked perf history.  :func:`compare_to_baseline` then
+turns that file plus a committed baseline into a regression report: a metric
+that moved more than ``tolerance`` (default 30%) in its *bad* direction
+(``direction``: ``"higher_is_better"`` or ``"lower_is_better"``) is flagged.
+CI runs the comparison as a warn-only step via ``repro metrics --baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["PerfRecord", "record_perf", "load_perf", "compare_to_baseline"]
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """One benchmark measurement in the perf trajectory."""
+
+    benchmark: str
+    metric: str
+    value: float
+    unit: str = ""
+    labels: tuple[tuple[str, str], ...] = ()
+    quick: bool = False
+    direction: str = "higher_is_better"
+
+    def key(self) -> tuple[str, str, tuple[tuple[str, str], ...]]:
+        """Identity of the measurement (benchmark, metric, labels)."""
+        return (self.benchmark, self.metric, self.labels)
+
+    def to_record(self) -> dict[str, object]:
+        """The JSONL line form."""
+        return {
+            "benchmark": self.benchmark,
+            "metric": self.metric,
+            "value": self.value,
+            "unit": self.unit,
+            "labels": dict(self.labels),
+            "quick": self.quick,
+            "direction": self.direction,
+        }
+
+
+def _from_record(record: dict[str, object]) -> PerfRecord:
+    labels = record.get("labels") or {}
+    assert isinstance(labels, dict)
+    return PerfRecord(
+        benchmark=str(record["benchmark"]),
+        metric=str(record["metric"]),
+        value=float(record["value"]),  # type: ignore[arg-type]
+        unit=str(record.get("unit", "")),
+        labels=tuple(sorted((str(k), str(v)) for k, v in labels.items())),
+        quick=bool(record.get("quick", False)),
+        direction=str(record.get("direction", "higher_is_better")),
+    )
+
+
+def load_perf(path: str | Path) -> list[PerfRecord]:
+    """Load perf records from a trajectory file (missing file → empty).
+
+    Accepts the canonical JSONL form as well as a plain JSON array (the
+    committed-baseline format); lines/entries that are not perf records —
+    e.g. the typed metric records sharing a mixed JSONL file — are skipped.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    text = path.read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, list):
+        raw = payload
+    elif isinstance(payload, dict):
+        raw = [payload]
+    else:
+        raw = [json.loads(line) for line in text.splitlines() if line.strip()]
+    return [_from_record(r) for r in raw if isinstance(r, dict) and "benchmark" in r]
+
+
+def record_perf(
+    path: str | Path,
+    benchmark: str,
+    metric: str,
+    value: float,
+    *,
+    unit: str = "",
+    quick: bool = False,
+    direction: str = "higher_is_better",
+    **labels: object,
+) -> PerfRecord:
+    """Record one measurement, replacing any previous record with the same key.
+
+    Load-replace-rewrite keeps the file deterministic (sorted by key, one
+    record per key) however many times a bench session reruns.
+    """
+    if direction not in ("higher_is_better", "lower_is_better"):
+        raise ValueError(f"direction must be higher_is_better or lower_is_better, got {direction!r}")
+    record = PerfRecord(
+        benchmark=benchmark,
+        metric=metric,
+        value=float(value),
+        unit=unit,
+        labels=tuple(sorted((str(k), str(v)) for k, v in labels.items())),
+        quick=quick,
+        direction=direction,
+    )
+    path = Path(path)
+    existing = {r.key(): r for r in load_perf(path)}
+    existing[record.key()] = record
+    path.parent.mkdir(parents=True, exist_ok=True)
+    ordered = sorted(existing.values(), key=lambda r: r.key())
+    path.write_text("\n".join(json.dumps(r.to_record(), sort_keys=True) for r in ordered) + "\n", encoding="utf-8")
+    return record
+
+
+def compare_to_baseline(
+    current: list[PerfRecord],
+    baseline: list[PerfRecord],
+    *,
+    tolerance: float = 0.30,
+) -> list[str]:
+    """Direction-aware regression report of ``current`` against ``baseline``.
+
+    Returns one warning line per metric that regressed more than
+    ``tolerance`` (fractional) in its bad direction; improvements and
+    metrics absent from either side are never flagged.
+    """
+    if not 0 <= tolerance:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    warnings = []
+    current_by_key = {r.key(): r for r in current}
+    for base in baseline:
+        now = current_by_key.get(base.key())
+        if now is None or base.value == 0:
+            continue
+        change = (now.value - base.value) / abs(base.value)
+        regressed = change < -tolerance if base.direction == "higher_is_better" else change > tolerance
+        if regressed:
+            label_text = "".join(f" {k}={v}" for k, v in base.labels)
+            warnings.append(
+                f"PERF REGRESSION: {base.benchmark}/{base.metric}{label_text} "
+                f"{base.value:.6g} -> {now.value:.6g} ({change:+.1%}, tolerance ±{tolerance:.0%})"
+            )
+    return warnings

@@ -29,10 +29,14 @@ import numpy as np
 from .._util import check_positive_int
 from ..alloc.allocators import dp_allocate, greedy_allocate, hull_allocate
 from ..alloc.curves import DiscretizedMRC
+from ..obs import get_registry
 
 __all__ = ["ReallocationDecision", "ReallocationController"]
 
 _ALLOCATORS = {"greedy": greedy_allocate, "dp": dp_allocate, "hull": hull_allocate}
+
+#: Move-size buckets of the ``controller.moved_blocks`` histogram.
+_MOVED_BLOCKS_EDGES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
 
 class ReallocationDecision:
@@ -140,6 +144,8 @@ class ReallocationController:
             raise ValueError(f"current allocation has {len(current)} entries for {len(curves)} tenants")
         horizon = check_positive_int(horizon, "horizon")
         self.evaluations += 1
+        registry = get_registry()
+        registry.counter("controller.evaluations", method=self.method).inc()
         proposal = self.propose(curves)
         if proposal == current:
             return ReallocationDecision(
@@ -160,6 +166,8 @@ class ReallocationController:
         applied = gain > penalty
         if applied:
             self.applications += 1
+            registry.counter("controller.applications", method=self.method).inc()
+            registry.histogram("controller.moved_blocks", _MOVED_BLOCKS_EDGES, method=self.method).observe(moved)
         return ReallocationDecision(
             applied=applied,
             allocation=proposal if applied else current,

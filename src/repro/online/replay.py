@@ -54,6 +54,7 @@ import numpy as np
 from ..alloc.curves import DiscretizedMRC, discretize_curve
 from ..cache.mrc import MissRatioCurve, mrc_from_trace
 from ..cache.stack_distance import COLD, stack_distances_with_previous
+from ..obs import get_registry, span
 from ..profiling.pool import check_workers, pool_map
 from ..sim.partitioned import BatchPartitionedLRU, PrecomputedTenantDistances
 from ..trace.drift import DriftingWorkload
@@ -446,35 +447,36 @@ def run_replay(
 
     # Whole-trace (static) and per-phase (oracle) exact profiles — both are
     # method-independent inputs computed up front.
-    if engine == "reference":
-        # The seed path: every profile re-processes its stream from scratch,
-        # fanned over the pool.
-        static_tasks = [(composed.tenant_trace(t), budget, unit) for t in range(num_tenants)]
-        phase_tasks = [
-            (workload.tenant_phase_trace(t, p), budget, unit)
-            for p in range(workload.num_phases)
-            for t in range(num_tenants)
-        ]
-        static_curves = pool_map(_exact_discretized, static_tasks, workers=workers)
-        phase_curves = pool_map(_exact_discretized, phase_tasks, workers=workers)
-        distance_arrays = None
-    else:
-        # The batch data plane: ONE distance pass per tenant yields the static
-        # profiles (histogram of the whole array), the per-phase oracle
-        # profiles (an access whose previous access predates the phase is
-        # simply cold there — no re-processing), and then drives every lane.
-        tenant_positions = [np.flatnonzero(ids == t) for t in range(num_tenants)]
-        passes = [stack_distances_with_previous(items[idx]) for idx in tenant_positions]
-        distance_arrays = [distances for distances, _previous in passes]
-        static_curves = [_discretized_from_distances(distances, budget, unit) for distances in distance_arrays]
-        phase_curves = []
-        for p in range(workload.num_phases):
-            bounds = workload.phase_slice(p)
-            for t in range(num_tenants):
-                lo, hi = (int(x) for x in np.searchsorted(tenant_positions[t], bounds))
-                distances, previous = passes[t]
-                adjusted = np.where(previous[lo:hi] >= lo, distances[lo:hi], np.int64(COLD))
-                phase_curves.append(_discretized_from_distances(adjusted, budget, unit))
+    with span("online.profiles", engine=engine):
+        if engine == "reference":
+            # The seed path: every profile re-processes its stream from scratch,
+            # fanned over the pool.
+            static_tasks = [(composed.tenant_trace(t), budget, unit) for t in range(num_tenants)]
+            phase_tasks = [
+                (workload.tenant_phase_trace(t, p), budget, unit)
+                for p in range(workload.num_phases)
+                for t in range(num_tenants)
+            ]
+            static_curves = pool_map(_exact_discretized, static_tasks, workers=workers)
+            phase_curves = pool_map(_exact_discretized, phase_tasks, workers=workers)
+            distance_arrays = None
+        else:
+            # The batch data plane: ONE distance pass per tenant yields the static
+            # profiles (histogram of the whole array), the per-phase oracle
+            # profiles (an access whose previous access predates the phase is
+            # simply cold there — no re-processing), and then drives every lane.
+            tenant_positions = [np.flatnonzero(ids == t) for t in range(num_tenants)]
+            passes = [stack_distances_with_previous(items[idx]) for idx in tenant_positions]
+            distance_arrays = [distances for distances, _previous in passes]
+            static_curves = [_discretized_from_distances(distances, budget, unit) for distances in distance_arrays]
+            phase_curves = []
+            for p in range(workload.num_phases):
+                bounds = workload.phase_slice(p)
+                for t in range(num_tenants):
+                    lo, hi = (int(x) for x in np.searchsorted(tenant_positions[t], bounds))
+                    distances, previous = passes[t]
+                    adjusted = np.where(previous[lo:hi] >= lo, distances[lo:hi], np.int64(COLD))
+                    phase_curves.append(_discretized_from_distances(adjusted, budget, unit))
     static_allocation = controller.propose(static_curves)
     oracle_allocations = []
     for p in range(workload.num_phases):
@@ -526,80 +528,117 @@ def run_replay(
     position = 0
     phase = 0
     settling = False
-    for stop in stops:
-        run_chunk(position, stop)
-        position = stop
-        if phase + 1 < workload.num_phases and position >= workload.boundaries[phase + 1]:
-            phase += 1
-            lanes.resize("oracle", oracle_allocations[phase])
-        if position not in epoch_ends:
-            continue
-
-        # Epoch end: refresh windowed profiles, consult detector + controller.
-        # The per-epoch extractions are tiny (the sampled window buffers), so
-        # they run inline — forking a pool every epoch would cost more than
-        # the two stack-distance passes it parallelises; `workers` fans only
-        # the heavy up-front exact profiling above.
-        snapshots = [sketch.snapshot() for sketch in sketches]
-        profiled_references += sum(snap.sampled for snap in snapshots)
-        profiles = [_windowed_profile((snap, budget, unit)) for snap in snapshots]
-        window_curves = [discretized for _curve, discretized in profiles]
-        distance = 0.0
-        changed = False
-        for t, (curve, _discretized) in enumerate(profiles):
-            if curve is None:
+    with span("online.replay", engine=engine):
+        for stop in stops:
+            run_chunk(position, stop)
+            position = stop
+            if phase + 1 < workload.num_phases and position >= workload.boundaries[phase + 1]:
+                phase += 1
+                lanes.resize("oracle", oracle_allocations[phase])
+            if position not in epoch_ends:
                 continue
-            observation = detectors[t].observe(curve)
-            distance = max(distance, observation.distance)
-            changed = changed or observation.changed
-        if changed:
-            phase_changes += 1
-        # The controller is consulted on a phase-change flag, on the fixed
-        # re-allocation cadence, or while *settling* — refining after a flag
-        # or an applied move, when the window is still absorbing the new
-        # regime.  Quiet unflagged epochs between cadence points never
-        # re-partition, so threshold/hysteresis genuinely gate churn.
-        applied = False
-        moved_blocks = 0
-        if changed or settling or epoch_index % job.realloc_epochs == 0:
-            decision = controller.decide(
-                window_curves,
-                lanes.capacities("adaptive"),
-                horizon=job.epoch * job.horizon_epochs,
-            )
-            if decision.applied:
-                lanes.resize("adaptive", decision.allocation)
-                reallocations += 1
-                applied = True
-                moved_blocks = decision.moved_blocks
-            settling = applied or changed
 
-        total = position - epoch_start
-        # Label the epoch with the phase of its *last event*: when an epoch
-        # ends exactly on a boundary, `phase` has already advanced to the
-        # next regime even though every recorded event belongs to the old one.
-        last_event_phase = int(np.searchsorted(workload.boundaries, position - 1, side="right")) - 1
-        epochs.append(
-            EpochStats(
-                index=epoch_index,
-                start=epoch_start,
-                end=position,
-                phase=last_event_phase,
-                static_miss_ratio=counters["static"][1] / total,
-                adaptive_miss_ratio=counters["adaptive"][1] / total,
-                oracle_miss_ratio=counters["oracle"][1] / total,
-                distance=distance,
-                phase_change=changed,
-                reallocated=applied,
-                moved_blocks=moved_blocks,
-                adaptive_allocation=lanes.capacities("adaptive"),
-            )
-        )
-        epoch_index += 1
-        epoch_start = position
-        for key in counters:
-            counters[key] = [0, 0]
+            # Epoch end: refresh windowed profiles, consult detector + controller.
+            # The per-epoch extractions are tiny (the sampled window buffers), so
+            # they run inline — forking a pool every epoch would cost more than
+            # the two stack-distance passes it parallelises; `workers` fans only
+            # the heavy up-front exact profiling above.
+            snapshots = [sketch.snapshot() for sketch in sketches]
+            profiled_references += sum(snap.sampled for snap in snapshots)
+            profiles = [_windowed_profile((snap, budget, unit)) for snap in snapshots]
+            window_curves = [discretized for _curve, discretized in profiles]
+            distance = 0.0
+            changed = False
+            for t, (curve, _discretized) in enumerate(profiles):
+                if curve is None:
+                    continue
+                observation = detectors[t].observe(curve)
+                distance = max(distance, observation.distance)
+                changed = changed or observation.changed
+            if changed:
+                phase_changes += 1
+            # The controller is consulted on a phase-change flag, on the fixed
+            # re-allocation cadence, or while *settling* — refining after a flag
+            # or an applied move, when the window is still absorbing the new
+            # regime.  Quiet unflagged epochs between cadence points never
+            # re-partition, so threshold/hysteresis genuinely gate churn.
+            applied = False
+            moved_blocks = 0
+            predicted_gain = 0.0
+            move_penalty = 0.0
+            if changed or settling or epoch_index % job.realloc_epochs == 0:
+                decision = controller.decide(
+                    window_curves,
+                    lanes.capacities("adaptive"),
+                    horizon=job.epoch * job.horizon_epochs,
+                )
+                predicted_gain = decision.predicted_gain
+                move_penalty = decision.penalty
+                if decision.applied:
+                    lanes.resize("adaptive", decision.allocation)
+                    reallocations += 1
+                    applied = True
+                    moved_blocks = decision.moved_blocks
+                settling = applied or changed
 
+            total = position - epoch_start
+            # Label the epoch with the phase of its *last event*: when an epoch
+            # ends exactly on a boundary, `phase` has already advanced to the
+            # next regime even though every recorded event belongs to the old one.
+            last_event_phase = int(np.searchsorted(workload.boundaries, position - 1, side="right")) - 1
+            epochs.append(
+                EpochStats(
+                    index=epoch_index,
+                    start=epoch_start,
+                    end=position,
+                    phase=last_event_phase,
+                    static_miss_ratio=counters["static"][1] / total,
+                    adaptive_miss_ratio=counters["adaptive"][1] / total,
+                    oracle_miss_ratio=counters["oracle"][1] / total,
+                    distance=distance,
+                    phase_change=changed,
+                    reallocated=applied,
+                    moved_blocks=moved_blocks,
+                    adaptive_allocation=lanes.capacities("adaptive"),
+                )
+            )
+            registry = get_registry()
+            if registry.enabled:
+                # The per-epoch time series mirrors EpochStats.row() plus the
+                # controller's pricing of the epoch's decision and the sketch
+                # sample volume — purely observational, never read back.
+                registry.series("online.epochs").record(
+                    epoch=epoch_index,
+                    start=epoch_start,
+                    end=position,
+                    phase=last_event_phase,
+                    static=counters["static"][1] / total,
+                    adaptive=counters["adaptive"][1] / total,
+                    oracle=counters["oracle"][1] / total,
+                    distance=distance,
+                    phase_change=changed,
+                    reallocated=applied,
+                    moved_blocks=moved_blocks,
+                    allocation="/".join(str(c) for c in lanes.capacities("adaptive")),
+                    sketch_sampled=sum(snap.sampled for snap in snapshots),
+                    gain=predicted_gain,
+                    penalty=move_penalty,
+                )
+                if changed:
+                    registry.counter("online.phase_changes").inc()
+                if applied:
+                    registry.counter("online.reallocations").inc()
+                    registry.counter("online.moved_blocks").add(moved_blocks)
+
+            epoch_index += 1
+            epoch_start = position
+            for key in counters:
+                counters[key] = [0, 0]
+
+    registry = get_registry()
+    registry.counter("online.events", engine=engine).add(n)
+    registry.counter("online.profiled_references").add(profiled_references)
+    registry.gauge("online.tenants").set(num_tenants)
     return ReplayResult(
         name=job.name,
         accesses=n,

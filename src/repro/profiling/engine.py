@@ -26,13 +26,13 @@ performance knob.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from ..cache.mrc import MissRatioCurve, mrc_from_trace
+from ..obs import get_registry, span
 from .pool import check_workers, pool_map
 from .reuse import ReuseTimeHistogram
 from .shards import shards_mrc
@@ -101,28 +101,28 @@ def _load(job: ProfileJob) -> np.ndarray:
 def run_job(job: ProfileJob) -> ProfileResult:
     """Execute one profiling job in the current process."""
     arr = _load(job)
-    start = time.perf_counter()
-    if job.mode == "exact":
-        curve = mrc_from_trace(arr, max_cache_size=job.max_cache_size)
-    elif job.mode == "shards":
-        curve = shards_mrc(
-            arr,
-            job.rate,
-            smax=job.smax,
-            seed=job.seed,
-            n_seeds=job.n_seeds,
-            max_cache_size=job.max_cache_size,
-        )
-    else:  # reuse
-        histogram = parallel_reuse_histogram(
-            arr,
-            workers=1,
-            fine_limit=job.fine_limit,
-            coarse_per_octave=job.coarse_per_octave,
-        )
-        curve = histogram.to_mrc(job.max_cache_size or max(histogram.cold, 1))
-    seconds = time.perf_counter() - start
-    return ProfileResult(name=job.name, mode=job.mode, curve=curve, accesses=int(arr.size), seconds=seconds)
+    with span("profiling.job", mode=job.mode) as timer:
+        if job.mode == "exact":
+            curve = mrc_from_trace(arr, max_cache_size=job.max_cache_size)
+        elif job.mode == "shards":
+            curve = shards_mrc(
+                arr,
+                job.rate,
+                smax=job.smax,
+                seed=job.seed,
+                n_seeds=job.n_seeds,
+                max_cache_size=job.max_cache_size,
+            )
+        else:  # reuse
+            histogram = parallel_reuse_histogram(
+                arr,
+                workers=1,
+                fine_limit=job.fine_limit,
+                coarse_per_octave=job.coarse_per_octave,
+            )
+            curve = histogram.to_mrc(job.max_cache_size or max(histogram.cold, 1))
+    get_registry().counter("profiling.accesses", mode=job.mode).add(int(arr.size))
+    return ProfileResult(name=job.name, mode=job.mode, curve=curve, accesses=int(arr.size), seconds=timer.seconds)
 
 
 def run_jobs(jobs: list[ProfileJob], *, workers: int = 1) -> list[ProfileResult]:
@@ -136,22 +136,22 @@ def run_jobs(jobs: list[ProfileJob], *, workers: int = 1) -> list[ProfileResult]
     if len(jobs) == 1 and workers > 1 and jobs[0].mode == "reuse":
         job = jobs[0]
         arr = _load(job)
-        start = time.perf_counter()
-        curve = parallel_reuse_mrc(
-            arr,
-            workers=workers,
-            max_cache_size=job.max_cache_size,
-            fine_limit=job.fine_limit,
-            coarse_per_octave=job.coarse_per_octave,
-        )
-        seconds = time.perf_counter() - start
+        with span("profiling.parallel_reuse", workers=workers) as timer:
+            curve = parallel_reuse_mrc(
+                arr,
+                workers=workers,
+                max_cache_size=job.max_cache_size,
+                fine_limit=job.fine_limit,
+                coarse_per_octave=job.coarse_per_octave,
+            )
+        get_registry().counter("profiling.accesses", mode=job.mode).add(int(arr.size))
         return [
             ProfileResult(
                 name=job.name,
                 mode=job.mode,
                 curve=curve,
                 accesses=int(arr.size),
-                seconds=seconds,
+                seconds=timer.seconds,
             )
         ]
     return pool_map(run_job, jobs, workers=workers)

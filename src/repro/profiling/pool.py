@@ -13,13 +13,26 @@ those engines share:
 
 ``workers`` is always validated the same way: any integer below 1 is an error
 rather than a silent serial fallback.
+
+When a metrics registry is recording (:func:`repro.obs.get_registry`),
+``pool_map`` additionally times every task.  Workers cannot record into the
+parent's registry (they are separate processes), so each task is wrapped to
+*return* its wall-clock seconds alongside its result and the parent folds
+the durations into the ``pool.task`` span aggregate in task order — the
+same order ``pool.map`` returns results in — making the recorded aggregate
+deterministic regardless of completion order.  With nothing recording, the
+seed code path runs unchanged.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from collections.abc import Callable, Sequence
+from functools import partial
 from typing import Any
+
+from ..obs import get_registry
 
 __all__ = ["check_workers", "fork_available", "fork_pool", "pool_map"]
 
@@ -50,6 +63,13 @@ def fork_pool(workers: int):
     return context.Pool(processes=check_workers(workers))
 
 
+def _timed_call(function: Callable[[Any], Any], task: Any) -> tuple[Any, float]:
+    """Run one task, returning ``(result, seconds)`` so timings survive the pool."""
+    start = time.perf_counter()
+    result = function(task)
+    return result, time.perf_counter() - start
+
+
 def pool_map(function: Callable[[Any], Any], tasks: Sequence[Any], *, workers: int = 1) -> list[Any]:
     """Map ``function`` over ``tasks``, preserving task order.
 
@@ -59,6 +79,20 @@ def pool_map(function: Callable[[Any], Any], tasks: Sequence[Any], *, workers: i
     """
     workers = check_workers(workers)
     tasks = list(tasks)
+    registry = get_registry()
+    if registry.enabled:
+        name = getattr(function, "__name__", repr(function))
+        timed = partial(_timed_call, function)
+        if workers == 1 or len(tasks) <= 1:
+            outcomes = [timed(task) for task in tasks]
+        else:
+            with fork_pool(min(workers, len(tasks))) as pool:
+                outcomes = pool.map(timed, tasks)
+        registry.counter("pool.tasks", function=name).add(len(outcomes))
+        registry.gauge("pool.workers", function=name).set(min(workers, max(len(tasks), 1)))
+        for _, seconds in outcomes:  # task order == pool.map order: deterministic
+            registry.record_span("pool.task", seconds, function=name)
+        return [result for result, _ in outcomes]
     if workers == 1 or len(tasks) <= 1:
         return [function(task) for task in tasks]
     with fork_pool(min(workers, len(tasks))) as pool:

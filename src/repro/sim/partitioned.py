@@ -44,6 +44,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from ..cache.stack_distance import StackDistanceStream, stack_distances_vectorized
+from ..obs import get_registry, span
 
 __all__ = [
     "partitioned_lru_segment",
@@ -123,6 +124,10 @@ class BatchPartitionedLRU:
         self._occupancies = [0] * len(self._capacities)
         self.hits = 0
         self.misses = 0
+        # Bound once: run_segment is the replay hot path (three lanes per
+        # chunk), so the per-segment cost of disabled metrics is one no-op
+        # method call instead of a registry lookup.
+        self._lane_refs = get_registry().counter("replay.lane_refs")
 
     @property
     def capacities(self) -> tuple[int, ...]:
@@ -155,6 +160,7 @@ class BatchPartitionedLRU:
             segment_hits += int(np.asarray(tenant_distances).size) - misses
         self.hits += segment_hits
         self.misses += segment_misses
+        self._lane_refs.add(segment_hits + segment_misses)
         return segment_hits, segment_misses
 
     def resize(self, capacities: Sequence[int]) -> None:
@@ -292,6 +298,10 @@ def replay_partitioned(
     """
     simulator = BatchPartitionedLRU(capacities)
     streams = TenantDistanceStreams(len(simulator.capacities))
-    for items, tenant_ids in segments:
-        simulator.run_segment(streams.feed(items, tenant_ids))
+    registry = get_registry()
+    with span("replay.partitioned"):
+        for items, tenant_ids in segments:
+            simulator.run_segment(streams.feed(items, tenant_ids))
+            registry.counter("replay.segments").inc()
+    registry.counter("replay.events").add(simulator.hits + simulator.misses)
     return simulator

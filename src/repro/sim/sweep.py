@@ -27,13 +27,13 @@ is not — its results match simulating the user's actual trace.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from ..obs import get_registry, span
 from ..profiling.pool import check_workers, fork_available, pool_map
 from .kernels import (
     check_capacities,
@@ -189,18 +189,18 @@ def _run_task(task: tuple) -> tuple[str, tuple[int, ...], np.ndarray, float]:
     policy, caps, payload, distinct, ways, seed = task
     trace = _FORKED_TRACES[payload] if isinstance(payload, str) else payload
     capacities = np.asarray(caps, dtype=np.int64)
-    start = time.perf_counter()
-    if policy == "lru":
-        hits = lru_sweep_hits(trace, capacities)
-    elif policy == "fifo":
-        hits = fifo_sweep_hits(trace, capacities, distinct=distinct)
-    elif policy == "random":
-        hits = random_sweep_hits(trace, capacities, seed=seed, distinct=distinct)
-    elif policy == "set-associative":
-        hits = set_associative_sweep_hits(trace, capacities, ways=ways)
-    else:  # pragma: no cover - SweepJob validates policies
-        raise ValueError(f"unknown policy {policy!r}")
-    return policy, tuple(caps), hits, time.perf_counter() - start
+    with span("sweep.task", policy=policy) as timer:
+        if policy == "lru":
+            hits = lru_sweep_hits(trace, capacities)
+        elif policy == "fifo":
+            hits = fifo_sweep_hits(trace, capacities, distinct=distinct)
+        elif policy == "random":
+            hits = random_sweep_hits(trace, capacities, seed=seed, distinct=distinct)
+        elif policy == "set-associative":
+            hits = set_associative_sweep_hits(trace, capacities, ways=ways)
+        else:  # pragma: no cover - SweepJob validates policies
+            raise ValueError(f"unknown policy {policy!r}")
+    return policy, tuple(caps), hits, timer.seconds
 
 
 def _tasks_for(job: SweepJob, arrays: dict[str, np.ndarray], distinct: int, workers: int, by_key: bool) -> list[tuple]:
@@ -259,6 +259,7 @@ def run_sweep(job: SweepJob, *, workers: int = 1) -> SweepResult:
         hits_list.extend(int(h) for h in hits)
         per_policy[policy] = (caps_list, hits_list, total + seconds)
 
+    registry = get_registry()
     sweeps = []
     for policy in job.policies:
         caps_list, hits_list, seconds = per_policy[policy]
@@ -272,6 +273,12 @@ def run_sweep(job: SweepJob, *, workers: int = 1) -> SweepResult:
                 seconds=float(seconds),
             )
         )
+        # Kernel throughput in lane-references: every swept capacity is one
+        # lane over the full trace.  Recorded from the returned outcome data
+        # (not inside workers), so the aggregate is deterministic.
+        registry.record_span("sweep.kernel", float(seconds), policy=policy)
+        registry.counter("sweep.lane_refs", policy=policy).add(int(dense.size) * len(caps_list))
+    registry.gauge("sweep.footprint").set(distinct)
     return SweepResult(name=job.name, accesses=int(dense.size), footprint=distinct, sweeps=tuple(sweeps))
 
 

@@ -27,6 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import get_registry
 from .trace import Trace
 
 __all__ = [
@@ -93,12 +94,18 @@ class StreamingTrace:
 
     def segments(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Yield ``(items, tenant_ids)`` copies of at most ``segment`` references."""
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("trace.memmap").set(int(isinstance(self.items, np.memmap)))
+            registry.gauge("trace.references").set(len(self))
         for start in range(0, len(self), int(self.segment)):
             stop = start + int(self.segment)
-            yield (
-                np.array(self.items[start:stop], dtype=np.int64, copy=True),
-                np.array(self.tenant_ids[start:stop], dtype=np.int64, copy=True),
-            )
+            items = np.array(self.items[start:stop], dtype=np.int64, copy=True)
+            tenant_ids = np.array(self.tenant_ids[start:stop], dtype=np.int64, copy=True)
+            if registry.enabled:
+                registry.counter("trace.segments").inc()
+                registry.counter("trace.segment_bytes").add(items.nbytes + tenant_ids.nbytes)
+            yield items, tenant_ids
 
     def fill(self, start: int, items: Sequence[int] | np.ndarray, tenant_ids: Sequence[int] | np.ndarray) -> int:
         """Write one segment at position ``start`` (for writable/memmap traces).

@@ -34,6 +34,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.alloc import DiscretizedMRC, dp_allocate, total_misses
+from repro.alloc.partition import PartitionJob, run_partition
 from repro.cache import FIFOCache, LRUCache, SetAssociativeCache
 from repro.cache.mrc import mrc_from_trace
 from repro.cache.stack_distance import (
@@ -44,6 +45,7 @@ from repro.cache.stack_distance import (
     stack_distances_vectorized,
     stack_distances_with_previous,
 )
+from repro.obs import MetricsRegistry, recording
 from repro.online import OnlineJob, PartitionedLRU, WindowedShardsSketch, pooled_curve, run_replay
 from repro.profiling.accuracy import compare_curves
 from repro.sim.kernels import (
@@ -55,8 +57,10 @@ from repro.sim.kernels import (
     set_associative_sweep_hits,
 )
 from repro.sim.partitioned import BatchPartitionedLRU, TenantDistanceStreams
+from repro.sim.sweep import SweepJob, run_sweep
 from repro.trace import zipfian_trace
 from repro.trace.drift import three_phase_pair
+from repro.trace.tenancy import TenantSpec
 
 # --------------------------------------------------------------------------- #
 # Reference implementations and strategies
@@ -285,6 +289,66 @@ class TestReplayEngineDifferential:
         assert batch.rows() == reference.rows()
         assert batch.summary() == reference.summary()
         assert batch.oracle_allocations == reference.oracle_allocations
+
+
+# --------------------------------------------------------------------------- #
+# Metrics recording is purely observational
+# --------------------------------------------------------------------------- #
+class TestMetricsDifferential:
+    """Every instrumented engine returns bit-identical results whether a
+    metrics registry is recording or not — observation never perturbs."""
+
+    def test_online_replay_identical_with_metrics_on(self):
+        workload = three_phase_pair(1500, seed=3)
+        job = OnlineJob(budget=300, window=1500, epoch=500, method="hull", rate=0.5)
+        plain = run_replay(workload, job)
+        registry = MetricsRegistry()
+        with recording(registry):
+            recorded = run_replay(workload, job)
+        assert recorded.rows() == plain.rows()
+        assert recorded.summary() == plain.summary()
+        assert recorded.oracle_allocations == plain.oracle_allocations
+        # ...while the registry really did observe the run
+        assert len(registry.series("online.epochs")) == len(plain.epochs)
+        snapshot = registry.snapshot()
+        assert any(name == "online.events" for _kind, name, _labels in snapshot)
+        assert any(name == "replay.lane_refs" for _kind, name, _labels in snapshot)
+
+    def test_sweep_identical_with_metrics_on(self):
+        trace = zipfian_trace(5000, 400, exponent=0.8, rng=2).accesses
+        job = SweepJob(trace=trace, policies=("lru", "fifo", "random"), capacities=(4, 16, 64))
+        plain = run_sweep(job)
+        registry = MetricsRegistry()
+        with recording(registry):
+            recorded = run_sweep(job)
+        assert recorded.rows() == plain.rows()
+        assert registry.counter("sweep.lane_refs", policy="lru").value == trace.size * 3
+
+    def test_sweep_with_pool_identical_with_metrics_on(self):
+        """The timed pool wrapper changes neither results nor their order."""
+        trace = zipfian_trace(3000, 300, exponent=0.9, rng=4).accesses
+        job = SweepJob(trace=trace, policies=("lru", "fifo", "random", "set-associative"), capacities=(8, 32))
+        plain = run_sweep(job, workers=1)
+        registry = MetricsRegistry()
+        with recording(registry):
+            recorded = run_sweep(job, workers=2)
+        assert recorded.rows() == plain.rows()
+        snapshot = registry.snapshot()
+        assert any(name == "pool.task" for _kind, name, _labels in snapshot)
+
+    def test_partition_identical_with_metrics_on(self):
+        tenants = (
+            TenantSpec(zipfian_trace(2000, 300, exponent=0.9, rng=1), name="zipf"),
+            TenantSpec(zipfian_trace(2000, 150, exponent=0.7, rng=2), name="flat", rate=2.0),
+        )
+        job = PartitionJob(tenants=tenants, budget=256, method="dp", mode="shards", rate=0.2)
+        plain = run_partition(job)
+        registry = MetricsRegistry()
+        with recording(registry):
+            recorded = run_partition(job)
+        assert recorded.rows() == plain.rows()
+        assert recorded.summary() == plain.summary()
+        assert registry.counter("partition.tenants", method="dp").value == 2
 
 
 # --------------------------------------------------------------------------- #

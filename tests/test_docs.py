@@ -42,6 +42,7 @@ DOCTESTED_MODULES = [
     "repro.online.phases",
     "repro.trace.drift",
     "repro.analysis",
+    "repro.obs",
 ]
 
 
@@ -78,7 +79,18 @@ def test_cli_reference_has_examples_for_every_subcommand():
     used = {shlex.split(command)[0] for command in commands}
     from repro.cli import build_parser
 
-    documented = {"generate", "analyze", "mrc", "profile", "sweep", "partition", "online", "chain", "experiment"}
+    documented = {
+        "generate",
+        "analyze",
+        "mrc",
+        "profile",
+        "sweep",
+        "partition",
+        "online",
+        "chain",
+        "experiment",
+        "metrics",
+    }
     assert used == documented
     # and the parser knows no subcommand the docs forgot
     parser_actions = next(a for a in build_parser()._actions if a.dest == "command")
