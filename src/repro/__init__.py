@@ -19,6 +19,16 @@ True
 
 Subpackages
 -----------
+``repro.api``
+    The public experiment API: :func:`repro.api.profile`,
+    :func:`repro.api.sweep`, :func:`repro.api.partition` and
+    :func:`repro.api.online`, all speaking the common job/result protocol of
+    the engine layer.
+``repro.engine``
+    The shared experiment substrate: segment arithmetic over streaming
+    traces, one columnar stack-distance pass per tenant, lane simulators,
+    and the worker-pool runner (with its bit-identical single-process
+    reference mode) that every experiment path fans out through.
 ``repro.core``
     The paper's primary contribution: symmetric locality theory, Algorithm 1
     (reuse-distance histograms), Algorithm 2 (ChainFind), Theorems 2-4, and

@@ -31,9 +31,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine.job import ALLOC_METHODS, check_choice, check_positive, check_unit
+from ..engine.columnar import split_by_tenant
+from ..engine.runner import check_workers
 from ..obs import get_registry, span
 from ..profiling.engine import ProfileJob, run_jobs
-from ..profiling.pool import check_workers
 from ..sim.kernels import lru_sweep_hits
 from ..trace.tenancy import MultiTenantTrace, TenantSpec, compose_tenants
 from .allocators import dp_allocate, greedy_allocate, hull_allocate, proportional_split
@@ -51,8 +53,8 @@ __all__ = [
     "simulate_baselines",
 ]
 
-#: Allocation methods the partition engine understands.
-METHODS = ("greedy", "dp", "hull")
+#: Allocation methods the partition engine understands (the engine-wide set).
+METHODS = ALLOC_METHODS
 
 
 @dataclass(frozen=True)
@@ -95,14 +97,9 @@ class PartitionJob:
         tenants = tuple(self.tenants)
         if not tenants:
             raise ValueError("need at least one tenant to partition")
-        if self.method not in METHODS:
-            raise ValueError(f"method must be one of {METHODS}, got {self.method!r}")
-        if int(self.budget) < 1:
-            raise ValueError(f"budget must be >= 1, got {self.budget}")
-        if int(self.unit) < 1:
-            raise ValueError(f"unit must be >= 1, got {self.unit}")
-        if int(self.unit) > int(self.budget):
-            raise ValueError(f"unit ({self.unit}) cannot exceed the budget ({self.budget})")
+        check_choice("method", self.method, METHODS)
+        check_positive("budget", self.budget)
+        check_unit(self.unit, self.budget)
         object.__setattr__(self, "tenants", tenants)
         object.__setattr__(self, "budget", int(self.budget))
         object.__setattr__(self, "unit", int(self.unit))
@@ -237,7 +234,7 @@ class PartitionBaselines:
 
 def simulate_baselines(composed: MultiTenantTrace, budget: int) -> PartitionBaselines:
     """Simulate the unpartitioned shared cache and the proportional split."""
-    tenant_traces = [composed.tenant_trace(t) for t in range(composed.num_tenants)]
+    tenant_traces = split_by_tenant(composed.trace.accesses, composed.tenant_ids, composed.num_tenants)
     footprints = [int(np.unique(stream).size) for stream in tenant_traces]
     proportional = proportional_split(footprints, int(budget))
     total = len(composed.trace)
@@ -308,7 +305,7 @@ def partition_composed(
     profiles are supplied).
     """
     workers = check_workers(workers)
-    tenant_traces = [composed.tenant_trace(t) for t in range(composed.num_tenants)]
+    tenant_traces = split_by_tenant(composed.trace.accesses, composed.tenant_ids, composed.num_tenants)
 
     if profiles is None:
         with span("partition.profile", mode=job.mode) as timer:

@@ -131,11 +131,12 @@ def _cmd_mrc(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from .analysis.reporting import format_table, write_csv
+    from . import api
+    from .analysis.reporting import format_table
     from .cache.mrc import mrc_from_trace
     from .obs import span
     from .profiling.accuracy import compare_curves
-    from .profiling.engine import ProfileJob, run_jobs
+    from .profiling.engine import ProfileJob
     from .trace.io import read_text
 
     if args.csv and len(args.trace_files) != 1:
@@ -160,7 +161,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         else:
             jobs.append(ProfileJob(path=str(path), name=Path(path).stem, **common))
 
-    results = run_jobs(jobs, workers=args.workers)
+    results = api.profile(jobs, workers=args.workers)
 
     rows = []
     for job, result in zip(jobs, results):
@@ -183,10 +184,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(format_table(rows, title=f"profile --mode {args.mode}"))
 
     if args.csv:
-        curve = results[0].curve
-        curve_rows = [{"cache_size": c + 1, "miss_ratio": ratio} for c, ratio in enumerate(curve.ratios)]
-        path = write_csv(args.csv, curve_rows)
-        print(f"wrote {len(curve_rows)} rows to {path}")
+        path, written = api.export_csv(results[0], args.csv)
+        print(f"wrote {written} rows to {path}")
     return 0
 
 
@@ -228,30 +227,29 @@ def parse_capacities(spec: str, footprint: int) -> tuple[int, ...]:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .analysis.reporting import format_table, write_csv
-    from .sim.sweep import SweepJob, run_sweep
+    from . import api
+    from .analysis.reporting import format_table
     from .trace.io import read_text
 
     trace = read_text(args.trace_file)
     try:
-        capacities = parse_capacities(args.capacities, trace.footprint)
-        job = SweepJob(
-            trace=trace.accesses,
+        result = api.sweep(
+            trace.accesses,
             name=trace.name,
             policies=tuple(p.strip() for p in args.policies.split(",") if p.strip()),
-            capacities=capacities,
+            capacities=parse_capacities(args.capacities, trace.footprint),
             ways=args.ways,
             seed=args.seed,
+            workers=args.workers,
         )
-        result = run_sweep(job, workers=args.workers)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
     rows = result.rows()
     if args.csv:
-        path = write_csv(args.csv, rows)
-        print(f"wrote {len(rows)} rows to {path}")
+        path, written = api.export_csv(result, args.csv)
+        print(f"wrote {written} rows to {path}")
     else:
         print(
             format_table(
@@ -352,14 +350,13 @@ def parse_tenants(spec: str) -> list:
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
-    from .alloc.partition import PartitionJob, run_partition
-    from .analysis.reporting import format_table, write_csv
+    from . import api
+    from .analysis.reporting import format_table
 
     try:
-        tenants = parse_tenants(args.tenants)
-        job = PartitionJob(
-            tenants=tuple(tenants),
-            budget=args.budget,
+        result = api.partition(
+            parse_tenants(args.tenants),
+            args.budget,
             method=args.method,
             mode=args.mode,
             rate=args.rate,
@@ -367,8 +364,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             profile_seed=args.profile_seed,
             unit=args.unit,
             seed=args.seed,
+            workers=args.workers,
         )
-        result = run_partition(job, workers=args.workers)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -376,11 +373,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     tenant_rows = result.rows()
     summary = result.summary()
     if args.csv:
-        total_row = dict(summary)
-        total_row["tenant"] = "TOTAL"
-        total_row["accesses"] = result.accesses
-        path = write_csv(args.csv, tenant_rows + [total_row])
-        print(f"wrote {len(tenant_rows) + 1} rows to {path}")
+        path, written = api.export_csv(result, args.csv)
+        print(f"wrote {written} rows to {path}")
     else:
         print(
             format_table(
@@ -409,19 +403,17 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_online(args: argparse.Namespace) -> int:
-    from .analysis.reporting import format_table, write_csv
-    from .online.replay import OnlineJob, run_replay
-    from .trace.drift import tenant_churn, three_phase_pair
+    from . import api
+    from .analysis.reporting import format_table
 
     try:
-        if args.workload == "three-phase":
-            workload = three_phase_pair(args.length, seed=args.seed)
-        else:
-            workload = tenant_churn(args.length, seed=args.seed)
-        job = OnlineJob(
-            budget=args.budget,
-            window=args.window,
-            epoch=args.epoch,
+        result = api.online(
+            args.workload,
+            args.budget,
+            args.window,
+            args.epoch,
+            length=args.length,
+            seed=args.seed,
             method=args.method,
             decay=args.decay,
             rate=args.rate,
@@ -431,9 +423,9 @@ def _cmd_online(args: argparse.Namespace) -> int:
             realloc_epochs=args.realloc_epochs,
             unit=args.unit,
             profile_seed=args.profile_seed,
-            name=args.workload,
+            workers=args.workers,
+            engine=args.engine,
         )
-        result = run_replay(workload, job, workers=args.workers, engine=args.engine)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -441,17 +433,14 @@ def _cmd_online(args: argparse.Namespace) -> int:
     rows = result.rows()
     summary = result.summary()
     if args.csv:
-        total_row = dict(summary)
-        total_row["epoch"] = "TOTAL"
-        total_row["allocation"] = "/".join(str(c) for c in result.final_allocation)
-        path = write_csv(args.csv, rows + [total_row])
-        print(f"wrote {len(rows) + 1} rows to {path}")
+        path, written = api.export_csv(result, args.csv)
+        print(f"wrote {written} rows to {path}")
     else:
         print(
             format_table(
                 rows,
                 title=(
-                    f"online --method {job.method} — {result.accesses} accesses, "
+                    f"online --method {args.method} — {result.accesses} accesses, "
                     f"budget {result.budget}, tenants {'/'.join(result.tenants)}"
                 ),
             )
@@ -603,8 +592,10 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
         if not warnings:
             matched = {r.key() for r in current} & {r.key() for r in baseline}
             print(f"perf trajectory within ±{args.tolerance:.0%} of baseline ({len(matched)} metrics compared)")
-        # Warn-only by design: the CI step surfaces regressions without
-        # failing the build (quick-mode numbers are noisy).
+        # Warn-only by default (quick-mode numbers are noisy); --strict turns
+        # the warnings into a failing exit code for gating CI steps.
+        if warnings and args.strict:
+            return 1
     return 0
 
 
@@ -630,8 +621,44 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 # --------------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------------- #
+def _engine_flags(*, seed_default: int, seed_help: str, workers_help: str, csv_help: str) -> argparse.ArgumentParser:
+    """Parent parser carrying the flags every engine subcommand shares.
+
+    One definition keeps the names, types and defaults of ``--seed`` /
+    ``--workers`` / ``--csv`` / ``--metrics`` aligned across the
+    profile/sweep/partition/online subcommands (the per-subcommand help
+    strings stay specific), mirroring the unified keyword names of
+    :mod:`repro.api`.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=seed_default, help=seed_help)
+    parent.add_argument("--workers", type=int, default=1, help=workers_help)
+    parent.add_argument("--csv", default=None, help=csv_help)
+    parent.add_argument("--metrics", default=None, help="record run metrics to this JSONL file")
+    return parent
+
+
+def _alloc_flags() -> argparse.ArgumentParser:
+    """Parent parser with the allocator flags partition and online share."""
+    from .engine.job import ALLOC_METHODS
+
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--method",
+        choices=list(ALLOC_METHODS),
+        default="hull",
+        help="allocator: marginal-gain greedy, exact DP, or Talus-style convex hull",
+    )
+    parent.add_argument("--unit", type=int, default=1, help="allocation granularity in blocks")
+    parent.add_argument("--profile-seed", type=int, default=0, help="base hash seed for SHARDS sampling")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
+    from .engine.job import PROFILE_MODES
+    from .engine.lanes import LANE_ENGINES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Symmetric locality toolkit: analyse traces, run ChainFind, reproduce the paper's experiments.",
@@ -648,35 +675,48 @@ def build_parser() -> argparse.ArgumentParser:
     mrc.add_argument("--csv", default=None, help="write the curve to this CSV file instead of printing")
     mrc.set_defaults(func=_cmd_mrc)
 
-    profile = subparsers.add_parser("profile", help="exact or approximate miss-ratio curve via the profiling engine")
+    profile = subparsers.add_parser(
+        "profile",
+        help="exact or approximate miss-ratio curve via the profiling engine",
+        parents=[
+            _engine_flags(
+                seed_default=0,
+                seed_help="base hash seed for sampling",
+                workers_help="process pool size (batch of traces, or chunks of one trace in reuse mode)",
+                csv_help="write the curve to this CSV file (single trace only)",
+            )
+        ],
+    )
     profile.add_argument("trace_files", nargs="+", help="text trace file(s)")
     profile.add_argument(
         "--mode",
-        choices=["exact", "shards", "reuse"],
+        choices=list(PROFILE_MODES),
         default="shards",
         help="exact pipeline, SHARDS sampling, or one-pass reuse-time (AET) model",
     )
     profile.add_argument("--rate", type=float, default=0.01, help="SHARDS sampling rate R")
     profile.add_argument("--smax", type=int, default=None, help="fixed-size SHARDS: max distinct sampled items")
-    profile.add_argument("--seed", type=int, default=0, help="base hash seed for sampling")
     profile.add_argument("--seeds", type=int, default=2, help="number of pooled SHARDS hash functions")
-    profile.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="process pool size (batch of traces, or chunks of one trace in reuse mode)",
-    )
     profile.add_argument("--max-size", type=int, default=None, help="largest cache size to report")
-    profile.add_argument("--csv", default=None, help="write the curve to this CSV file (single trace only)")
     profile.add_argument(
         "--compare-exact",
         action="store_true",
         help="also compute the exact curve and report error and speedup",
     )
-    profile.add_argument("--metrics", default=None, help="record run metrics to this JSONL file")
     profile.set_defaults(func=_cmd_profile)
 
-    sweep = subparsers.add_parser("sweep", help="miss ratios of many policies x capacities via the sweep engine")
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="miss ratios of many policies x capacities via the sweep engine",
+        parents=[
+            _engine_flags(
+                seed_default=0,
+                seed_help="seed of the random-replacement policy",
+                workers_help="process pool size (never changes the results)",
+                csv_help="write the sweep rows to this CSV file",
+            )
+        ],
+    )
     sweep.add_argument("trace_file", help="text trace file (one item label per line)")
     sweep.add_argument(
         "--policies",
@@ -689,13 +729,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="capacity grid: comma list of ints, lo:hi[:step] ranges, or pow2 (default)",
     )
     sweep.add_argument("--ways", type=int, default=4, help="associativity of the set-associative policy")
-    sweep.add_argument("--seed", type=int, default=0, help="seed of the random-replacement policy")
-    sweep.add_argument("--workers", type=int, default=1, help="process pool size (never changes the results)")
-    sweep.add_argument("--csv", default=None, help="write the sweep rows to this CSV file")
-    sweep.add_argument("--metrics", default=None, help="record run metrics to this JSONL file")
     sweep.set_defaults(func=_cmd_sweep)
 
-    partition = subparsers.add_parser("partition", help="divide a shared cache among tenants via MRC allocation")
+    partition = subparsers.add_parser(
+        "partition",
+        help="divide a shared cache among tenants via MRC allocation",
+        parents=[
+            _engine_flags(
+                seed_default=0,
+                seed_help="seed of the tenant interleaving",
+                workers_help="process pool size for per-tenant profiling",
+                csv_help="write per-tenant rows plus a TOTAL row to this CSV file",
+            ),
+            _alloc_flags(),
+        ],
+    )
     partition.add_argument(
         "--tenants",
         required=True,
@@ -706,28 +754,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     partition.add_argument("--budget", type=int, required=True, help="shared cache capacity in blocks")
     partition.add_argument(
-        "--method",
-        choices=["greedy", "dp", "hull"],
-        default="hull",
-        help="allocator: marginal-gain greedy, exact DP, or Talus-style convex hull",
-    )
-    partition.add_argument(
         "--mode",
-        choices=["exact", "shards", "reuse"],
+        choices=list(PROFILE_MODES),
         default="exact",
         help="per-tenant MRC profiling mode (see the profile subcommand)",
     )
     partition.add_argument("--rate", type=float, default=0.01, help="SHARDS sampling rate R (mode shards)")
     partition.add_argument("--smax", type=int, default=None, help="fixed-size SHARDS: max distinct sampled items")
-    partition.add_argument("--unit", type=int, default=1, help="allocation granularity in blocks")
-    partition.add_argument("--seed", type=int, default=0, help="seed of the tenant interleaving")
-    partition.add_argument("--profile-seed", type=int, default=0, help="base hash seed for SHARDS sampling")
-    partition.add_argument("--workers", type=int, default=1, help="process pool size for per-tenant profiling")
-    partition.add_argument("--csv", default=None, help="write per-tenant rows plus a TOTAL row to this CSV file")
-    partition.add_argument("--metrics", default=None, help="record run metrics to this JSONL file")
     partition.set_defaults(func=_cmd_partition)
 
-    online = subparsers.add_parser("online", help="adaptive re-partitioning on a drifting multi-tenant workload")
+    online = subparsers.add_parser(
+        "online",
+        help="adaptive re-partitioning on a drifting multi-tenant workload",
+        parents=[
+            _engine_flags(
+                seed_default=7,
+                seed_help="seed of the drifting workload",
+                workers_help="process pool size (never changes the results)",
+                csv_help="write per-epoch rows plus a TOTAL row to this CSV file",
+            ),
+            _alloc_flags(),
+        ],
+    )
     online.add_argument(
         "--workload",
         choices=["three-phase", "churn"],
@@ -743,12 +791,6 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--budget", type=int, required=True, help="shared cache capacity in blocks")
     online.add_argument("--window", type=int, required=True, help="windowed-profiler span in composed events")
     online.add_argument("--epoch", type=int, required=True, help="re-profiling period in composed events")
-    online.add_argument(
-        "--method",
-        choices=["greedy", "dp", "hull"],
-        default="hull",
-        help="allocator re-run on every evaluation",
-    )
     online.add_argument("--decay", type=float, default=0.0, help="exponential decay rate of the windowed profiles")
     online.add_argument("--rate", type=float, default=1.0, help="SHARDS sampling rate of the windowed profiles")
     online.add_argument("--move-cost", type=float, default=1.0, help="warm-up misses charged per moved block")
@@ -760,18 +802,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="fixed re-allocation cadence; between these epochs only a phase-change flag consults the controller",
     )
-    online.add_argument("--unit", type=int, default=1, help="allocation granularity in blocks")
-    online.add_argument("--seed", type=int, default=7, help="seed of the drifting workload")
-    online.add_argument("--profile-seed", type=int, default=0, help="hash seed of the windowed SHARDS sampler")
-    online.add_argument("--workers", type=int, default=1, help="process pool size (never changes the results)")
     online.add_argument(
         "--engine",
-        choices=("batch", "reference"),
+        choices=list(LANE_ENGINES),
         default="batch",
         help="replay data plane: vectorised batch kernels or the per-event reference (bit-identical)",
     )
-    online.add_argument("--csv", default=None, help="write per-epoch rows plus a TOTAL row to this CSV file")
-    online.add_argument("--metrics", default=None, help="record run metrics to this JSONL file")
     online.set_defaults(func=_cmd_online)
 
     chain = subparsers.add_parser("chain", help="run ChainFind on S_m")
@@ -801,6 +837,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.30,
         help="fractional regression tolerance of the baseline comparison (default 0.30)",
+    )
+    metrics.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when the baseline comparison reports regressions (for CI gating)",
     )
     metrics.set_defaults(func=_cmd_metrics)
 

@@ -1,0 +1,284 @@
+"""Per-tenant columnar state: one stack-distance pass feeding every consumer.
+
+Every multi-tenant experiment consumes a composed trace as two columns —
+``items`` (access labels) and ``tenant_ids`` (owning tenant per event) — and
+every one of them needs the same two facts per tenant: *its sub-stream* (the
+items it touched, in order) and *its stack distances* over that sub-stream.
+Distances are a property of the tenant stream alone — independent of any
+capacity schedule — so one pass per tenant serves MRC extraction (static
+whole-trace and per-phase-window profiles), the batch replay lanes, and any
+future consumer simultaneously.
+
+* :func:`tenant_positions` / :func:`split_by_tenant` — the one columnar
+  split (previously hand-rolled as ``items[ids == t]`` loops in three
+  modules).
+* :class:`TenantDistancePasses` — the full per-tenant distance pass
+  (distances plus previous-access positions), with
+  :meth:`~TenantDistancePasses.whole_stream_curve` and
+  :meth:`~TenantDistancePasses.window_curve` deriving exact discretized MRCs
+  of the whole stream or of any event window for free.
+* :class:`TenantDistanceStreams` — the streaming variant: chunked distances
+  with ``O(footprint)`` carried state, for traces too large to hold.
+* :class:`PrecomputedTenantDistances` — whole-stream distances sliced out
+  chunk by chunk (the in-memory replay fast path).
+* :func:`exact_discretized_curve` / :func:`discretized_from_distances` —
+  exact discretized MRC extraction from a stream or from precomputed
+  distances, bit-identical to each other on the same stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..cache.stack_distance import COLD, StackDistanceStream, stack_distances_vectorized
+
+__all__ = [
+    "PrecomputedTenantDistances",
+    "TenantDistancePasses",
+    "TenantDistanceStreams",
+    "check_tenant_ids",
+    "discretized_from_distances",
+    "exact_discretized_curve",
+    "idle_curve",
+    "split_by_tenant",
+    "tenant_positions",
+]
+
+
+def check_tenant_ids(tenant_ids: np.ndarray, num_tenants: int) -> None:
+    """Reject tenant ids outside ``[0, num_tenants)``.
+
+    Splitting with boolean masks would otherwise silently *drop* the events
+    of an out-of-range tenant — wrong totals instead of an error, where the
+    per-event reference simulator raises.
+    """
+    if tenant_ids.size and not 0 <= int(tenant_ids.min()) <= int(tenant_ids.max()) < num_tenants:
+        raise ValueError(
+            f"tenant ids must be within [0, {num_tenants}), got range "
+            f"[{int(tenant_ids.min())}, {int(tenant_ids.max())}]"
+        )
+
+
+def tenant_positions(tenant_ids: np.ndarray, num_tenants: int) -> list[np.ndarray]:
+    """Per-tenant event positions (sorted ascending) in a composed trace."""
+    tenant_ids = np.asarray(tenant_ids)
+    check_tenant_ids(tenant_ids, int(num_tenants))
+    return [np.flatnonzero(tenant_ids == t) for t in range(int(num_tenants))]
+
+
+def split_by_tenant(items: np.ndarray, tenant_ids: np.ndarray, num_tenants: int) -> list[np.ndarray]:
+    """Per-tenant sub-streams of a composed ``(items, tenant_ids)`` trace."""
+    items = np.asarray(items)
+    tenant_ids = np.asarray(tenant_ids)
+    if items.shape != tenant_ids.shape:
+        raise ValueError(f"items and tenant_ids must align, got {items.shape} vs {tenant_ids.shape}")
+    check_tenant_ids(tenant_ids, int(num_tenants))
+    return [items[tenant_ids == t] for t in range(int(num_tenants))]
+
+
+# --------------------------------------------------------------------------- #
+# Exact discretized MRC extraction
+# --------------------------------------------------------------------------- #
+_IDLE_CURVE_ACCESSES = 1
+
+
+def idle_curve(unit: int):
+    """Zero-demand curve for a tenant with no traffic: never allocate to it."""
+    from ..alloc.curves import DiscretizedMRC
+
+    return DiscretizedMRC(misses=np.zeros(1, dtype=np.float64), unit=unit, accesses=_IDLE_CURVE_ACCESSES)
+
+
+def exact_discretized_curve(stream: np.ndarray, budget: int, unit: int):
+    """Exact whole-stream MRC of one tenant stream, discretized to units.
+
+    The pool-dispatchable profile extractor of the reference engine: one
+    stack-distance pass over ``stream``, a miss-ratio curve up to ``budget``
+    blocks, discretized to allocation ``unit``\\ s.  An empty stream maps to
+    the :func:`idle_curve`.
+    """
+    from ..alloc.curves import discretize_curve
+    from ..cache.mrc import mrc_from_trace
+
+    stream = np.asarray(stream)
+    if stream.size == 0:
+        return idle_curve(unit)
+    curve = mrc_from_trace(stream, max_cache_size=budget)
+    return discretize_curve(curve, budget, unit=unit)
+
+
+def discretized_from_distances(distances: np.ndarray, budget: int, unit: int):
+    """Exact discretized MRC straight from precomputed stack distances.
+
+    Bit-identical to :func:`exact_discretized_curve` on the stream the
+    distances were measured over (same histogram, same cumulative hits, same
+    float ops) — but free once the engine has done its one distance pass per
+    tenant.  Cold accesses carry the
+    :data:`~repro.cache.stack_distance.COLD` sentinel, which is beyond any
+    budget and falls out of the histogram.
+    """
+    from ..alloc.curves import discretize_curve
+    from ..cache.mrc import MissRatioCurve
+
+    n = int(distances.size)
+    if n == 0:
+        return idle_curve(unit)
+    within = distances[distances <= budget]
+    hist = np.bincount(within - 1, minlength=budget)[:budget]
+    ratios = 1.0 - np.cumsum(hist).astype(np.float64) / n
+    curve = MissRatioCurve(ratios=tuple(ratios.tolist()), accesses=n)
+    return discretize_curve(curve, budget, unit=unit)
+
+
+def _exact_discretized_task(task: tuple[np.ndarray, int, int]):
+    """Pool worker: :func:`exact_discretized_curve` over one ``(stream, budget, unit)``."""
+    stream, budget, unit = task
+    return exact_discretized_curve(stream, budget, unit)
+
+
+class TenantDistancePasses:
+    """One full stack-distance pass per tenant, shared by every consumer.
+
+    Built from a composed ``(items, tenant_ids)`` trace; holds, per tenant,
+    the event positions in the composed trace, the stack distances over the
+    tenant's sub-stream, and each access's previous-occurrence position
+    (:data:`~repro.cache.stack_distance.COLD`-sentinel cold accesses have
+    ``previous == -1``).  From those arrays, whole-stream and per-window
+    exact profiles are array slices — no re-processing:
+
+    * :meth:`whole_stream_curve` histograms the full distance array;
+    * :meth:`window_curve` re-labels as cold every access whose previous
+      occurrence predates the window (exactly what a from-scratch pass over
+      the window's sub-trace would measure).
+    """
+
+    def __init__(self, items: np.ndarray, tenant_ids: np.ndarray, num_tenants: int):
+        from ..cache.stack_distance import stack_distances_with_previous
+
+        self.positions = tenant_positions(tenant_ids, num_tenants)
+        items = np.asarray(items)
+        passes = [stack_distances_with_previous(items[idx]) for idx in self.positions]
+        self.distances = [distances for distances, _previous in passes]
+        self.previous = [previous for _distances, previous in passes]
+
+    @property
+    def num_tenants(self) -> int:
+        """Number of tenant streams."""
+        return len(self.positions)
+
+    def whole_stream_curve(self, tenant: int, budget: int, unit: int):
+        """Exact discretized MRC of one tenant's whole stream."""
+        return discretized_from_distances(self.distances[tenant], budget, unit)
+
+    def window_curve(self, tenant: int, bounds: tuple[int, int], budget: int, unit: int):
+        """Exact discretized MRC of one tenant inside a composed-trace window.
+
+        ``bounds`` is a half-open ``(start, end)`` window over the *composed*
+        trace; the tenant's accesses inside it are located with one
+        ``searchsorted`` and an access whose previous occurrence predates
+        the window is simply cold there.
+        """
+        lo, hi = (int(x) for x in np.searchsorted(self.positions[tenant], bounds))
+        distances = self.distances[tenant]
+        previous = self.previous[tenant]
+        adjusted = np.where(previous[lo:hi] >= lo, distances[lo:hi], np.int64(COLD))
+        return discretized_from_distances(adjusted, budget, unit)
+
+
+# --------------------------------------------------------------------------- #
+# Distance providers for the batch replay data plane
+# --------------------------------------------------------------------------- #
+class TenantDistanceStreams:
+    """Per-tenant streaming stack distances over a composed multi-tenant trace.
+
+    Each tenant's partition is isolated, so its distances are measured on its
+    own sub-stream; this wrapper splits a composed ``(items, tenant_ids)``
+    segment and feeds each tenant's share to a carried
+    :class:`~repro.cache.stack_distance.StackDistanceStream`.  The resulting
+    per-tenant distance arrays are what every lane of a replay shares — the
+    expensive pass happens once per segment regardless of how many capacity
+    schedules are measured on top of it.
+    """
+
+    def __init__(self, num_tenants: int):
+        if int(num_tenants) < 1:
+            raise ValueError(f"num_tenants must be >= 1, got {num_tenants}")
+        self._streams = [StackDistanceStream() for _ in range(int(num_tenants))]
+
+    @property
+    def num_tenants(self) -> int:
+        """Number of tenant streams."""
+        return len(self._streams)
+
+    def feed(self, items: np.ndarray, tenant_ids: np.ndarray) -> list[np.ndarray]:
+        """Split one composed segment and return per-tenant distance arrays."""
+        items = np.asarray(items)
+        tenant_ids = np.asarray(tenant_ids)
+        if items.shape != tenant_ids.shape:
+            raise ValueError(f"items and tenant_ids must align, got {items.shape} vs {tenant_ids.shape}")
+        check_tenant_ids(tenant_ids, len(self._streams))
+        return [self._streams[t].feed(items[tenant_ids == t]) for t in range(len(self._streams))]
+
+
+class PrecomputedTenantDistances:
+    """Whole-stream per-tenant stack distances, sliced out chunk by chunk.
+
+    The in-memory fast path of the replay data plane: when the composed
+    trace is fully resident anyway, one vectorised distance pass per tenant
+    up front beats re-running the (overhead-bound) chunked pass on every
+    small epoch segment.  ``feed`` has the same surface as
+    :class:`TenantDistanceStreams` and yields bit-identical arrays — the
+    streaming variant exists for traces too large to hold in memory.
+    """
+
+    def __init__(self, items: np.ndarray, tenant_ids: np.ndarray, num_tenants: int):
+        items = np.asarray(items)
+        tenant_ids = np.asarray(tenant_ids)
+        if items.shape != tenant_ids.shape:
+            raise ValueError(f"items and tenant_ids must align, got {items.shape} vs {tenant_ids.shape}")
+        if int(num_tenants) < 1:
+            raise ValueError(f"num_tenants must be >= 1, got {num_tenants}")
+        check_tenant_ids(tenant_ids, int(num_tenants))
+        self._distances = [stack_distances_vectorized(items[tenant_ids == t]) for t in range(int(num_tenants))]
+        self._cursors = [0] * int(num_tenants)
+
+    @classmethod
+    def from_arrays(cls, distances: Sequence[np.ndarray]) -> "PrecomputedTenantDistances":
+        """Wrap already-computed per-tenant distance arrays (no extra pass).
+
+        This is how the replay engine amortises its one distance pass per
+        tenant across *every* consumer: the same arrays produce the static
+        and per-phase oracle profiles and then drive all three lanes.
+        """
+        if not distances:
+            raise ValueError("need at least one tenant distance array")
+        provider = cls.__new__(cls)
+        provider._distances = [np.asarray(d) for d in distances]
+        provider._cursors = [0] * len(provider._distances)
+        return provider
+
+    @classmethod
+    def from_passes(cls, passes: TenantDistancePasses) -> "PrecomputedTenantDistances":
+        """Wrap the distance arrays of a :class:`TenantDistancePasses`."""
+        return cls.from_arrays(passes.distances)
+
+    @property
+    def num_tenants(self) -> int:
+        """Number of tenant streams."""
+        return len(self._distances)
+
+    def feed(self, chunk_items: np.ndarray, chunk_ids: np.ndarray) -> list[np.ndarray]:
+        """Per-tenant distance slices for the next chunk of the composed trace."""
+        chunk_ids = np.asarray(chunk_ids)
+        check_tenant_ids(chunk_ids, len(self._distances))
+        out = []
+        for tenant, distances in enumerate(self._distances):
+            count = int(np.count_nonzero(chunk_ids == tenant))
+            cursor = self._cursors[tenant]
+            if cursor + count > distances.size:
+                raise ValueError(f"tenant {tenant} fed past the precomputed stream ({distances.size} references)")
+            out.append(distances[cursor : cursor + count])
+            self._cursors[tenant] = cursor + count
+        return out

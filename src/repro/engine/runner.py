@@ -1,0 +1,150 @@
+"""The engine's worker-pool runner: one fan-out idiom for every experiment.
+
+Every experiment path — profiling batches, sweep kernel tasks, per-tenant
+partition profiling, online replay's up-front profile extraction — fans
+independent tasks across a process pool through :func:`pool_map`.  The
+conventions are fixed here once:
+
+* **fork first** — the ``fork`` start method lets workers inherit large trace
+  arrays copy-on-write instead of pickling them; platforms without ``fork``
+  fall back to the default start method.
+* **inline when trivial** — ``pool_map`` runs the tasks in the current process
+  when a pool would not help (one worker or at most one task), which keeps
+  single-process runs deterministic, debuggable and free of pool overhead.
+  ``workers=1`` is therefore the *bit-identical single-process reference
+  mode* of the engine: every pooled run must produce exactly the same result
+  (asserted by the golden cross-engine suite in ``tests/engine/``).
+* **publish, don't pickle** — :func:`published_arrays` exposes large arrays
+  to forked workers through module globals (inherited copy-on-write), so
+  task tuples stay a few bytes instead of shipping the trace once per task.
+
+``workers`` is always validated the same way: any integer below 1 is an error
+rather than a silent serial fallback.
+
+When a metrics registry is recording (:func:`repro.obs.get_registry`),
+``pool_map`` additionally times every task.  Workers cannot record into the
+parent's registry (they are separate processes), so each task is wrapped to
+*return* its wall-clock seconds alongside its result and the parent folds
+the durations into the ``pool.task`` span aggregate in task order — the
+same order ``pool.map`` returns results in — making the recorded aggregate
+deterministic regardless of completion order.  With nothing recording, the
+bare code path runs unchanged.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable, Mapping, Sequence
+from contextlib import contextmanager
+from functools import partial
+from typing import Any
+
+import numpy as np
+
+from ..obs import get_registry
+
+__all__ = [
+    "check_workers",
+    "fork_available",
+    "fork_pool",
+    "pool_map",
+    "published_arrays",
+    "resolve_array",
+]
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method (copy-on-write globals) exists here."""
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        return False
+    return True
+
+
+def check_workers(workers: int) -> int:
+    """Validate a worker count (must be a positive integer)."""
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def fork_pool(workers: int):
+    """A ``multiprocessing`` pool using the ``fork`` start method when available."""
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platforms without fork
+        context = multiprocessing.get_context()
+    return context.Pool(processes=check_workers(workers))
+
+
+def _timed_call(function: Callable[[Any], Any], task: Any) -> tuple[Any, float]:
+    """Run one task, returning ``(result, seconds)`` so timings survive the pool."""
+    start = time.perf_counter()
+    result = function(task)
+    return result, time.perf_counter() - start
+
+
+def pool_map(function: Callable[[Any], Any], tasks: Sequence[Any], *, workers: int = 1) -> list[Any]:
+    """Map ``function`` over ``tasks``, preserving task order.
+
+    Runs inline (no pool) when ``workers == 1`` or there is at most one task;
+    otherwise fans out over ``min(workers, len(tasks))`` forked processes.
+    ``function`` and every task must be picklable in the pooled case.
+    """
+    workers = check_workers(workers)
+    tasks = list(tasks)
+    registry = get_registry()
+    if registry.enabled:
+        name = getattr(function, "__name__", repr(function))
+        timed = partial(_timed_call, function)
+        if workers == 1 or len(tasks) <= 1:
+            outcomes = [timed(task) for task in tasks]
+        else:
+            with fork_pool(min(workers, len(tasks))) as pool:
+                outcomes = pool.map(timed, tasks)
+        registry.counter("pool.tasks", function=name).add(len(outcomes))
+        registry.gauge("pool.workers", function=name).set(min(workers, max(len(tasks), 1)))
+        for _, seconds in outcomes:  # task order == pool.map order: deterministic
+            registry.record_span("pool.task", seconds, function=name)
+        return [result for result, _ in outcomes]
+    if workers == 1 or len(tasks) <= 1:
+        return [function(task) for task in tasks]
+    with fork_pool(min(workers, len(tasks))) as pool:
+        return pool.map(function, tasks)
+
+
+#: Arrays published for forked pool workers.  :func:`published_arrays` fills
+#: this immediately before a pool is created (children inherit it
+#: copy-on-write) and clears it afterwards, so task tuples can carry a small
+#: string key instead of pickling a whole trace through the task queue once
+#: per task.
+_PUBLISHED: dict[str, np.ndarray] = {}
+
+
+@contextmanager
+def published_arrays(arrays: Mapping[str, np.ndarray]):
+    """Publish ``arrays`` to forked workers for the duration of the block.
+
+    Inside the ``with`` block, a task may reference any published array by
+    its key; :func:`resolve_array` looks the key up in the worker (or in the
+    current process for inline runs).  Publication is only a win when the
+    pool *forks* — spawn-based pools re-import the module and see an empty
+    table — so callers gate on :func:`fork_available` and fall back to
+    embedding the array in the task tuple otherwise.
+    """
+    _PUBLISHED.update(arrays)
+    try:
+        yield
+    finally:
+        for key in arrays:
+            _PUBLISHED.pop(key, None)
+
+
+def resolve_array(payload: str | np.ndarray) -> np.ndarray:
+    """Resolve one task payload: a published-array key, or the array itself."""
+    if isinstance(payload, str):
+        return _PUBLISHED[payload]
+    return payload

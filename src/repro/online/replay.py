@@ -1,8 +1,8 @@
 """Streaming replay: static vs. adaptive vs. oracle-per-phase partitioning.
 
 :func:`run_replay` is the top of the online stack.  It feeds a drifting
-multi-tenant trace (:class:`repro.trace.drift.DriftingWorkload`)
-event-by-event through three partitioned LRU caches at once:
+multi-tenant trace (:class:`repro.trace.drift.DriftingWorkload`) through
+three partitioned LRU lanes at once:
 
 ``static``
     The whole-trace optimum: per-tenant *exact* MRCs of the full trace,
@@ -26,37 +26,30 @@ are directly comparable.  Every quantity is a pure function of the workload
 and the job, so results are bit-identical for every worker count (asserted
 in ``tests/online/test_replay.py``); under the ``reference`` engine
 ``workers`` fans the up-front exact profile extractions (whole-trace and
-per-phase) across a process pool, while the default ``batch`` engine derives
-them from its own distance pass and never needs the pool.
+per-phase) across the engine's process pool, while the default ``batch``
+engine derives them from its own distance pass and never needs the pool.
 
-Two interchangeable *data planes* drive the three simulators (``engine``):
-
-``batch`` (the default)
-    The vectorised plane from :mod:`repro.sim.partitioned`: one streaming
-    stack-distance pass per tenant per chunk, shared by all three lanes,
-    with per-segment occupancy kernels instead of per-event dictionary
-    bookkeeping (see ``docs/performance.md``).
-``reference``
-    The original per-event :class:`PartitionedLRU` loop, kept as the slow
-    readable oracle.  Both planes produce bit-identical per-epoch series
-    (asserted in the differential suite and enforced with a measured ≥10×
-    data-plane speedup in ``benchmarks/test_bench_replay.py``).
+The replay is built on the :mod:`repro.engine` substrate: the
+static/adaptive/oracle lanes are a :class:`repro.engine.lanes.LaneSet`
+(batch and per-event reference data planes, bit-identical), the per-tenant
+profile extraction is one :class:`repro.engine.columnar.TenantDistancePasses`
+distance pass per tenant, and the merged epoch/phase stop schedule comes
+from :func:`repro.engine.segments.replay_stops`.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..alloc.curves import DiscretizedMRC, discretize_curve
-from ..cache.mrc import MissRatioCurve, mrc_from_trace
-from ..cache.stack_distance import COLD, stack_distances_with_previous
+from ..engine.columnar import TenantDistancePasses, exact_discretized_curve, idle_curve
+from ..engine.job import check_choice, check_fraction, check_non_negative, check_positive, check_unit
+from ..engine.lanes import LANE_ENGINES, LaneSet, PartitionedLRU
+from ..engine.runner import check_workers, pool_map
+from ..engine.segments import phase_of_last_event, replay_stops
 from ..obs import get_registry, span
-from ..profiling.pool import check_workers, pool_map
-from ..sim.partitioned import BatchPartitionedLRU, PrecomputedTenantDistances
 from ..trace.drift import DriftingWorkload
 from .controller import ReallocationController
 from .phases import PhaseChangeDetector
@@ -65,7 +58,7 @@ from .windowed import WindowedShardsSketch, WindowSnapshot, curve_of_snapshot
 __all__ = ["OnlineJob", "EpochStats", "ReplayResult", "PartitionedLRU", "run_replay", "REPLAY_ENGINES"]
 
 #: The selectable replay data planes (see :func:`run_replay`).
-REPLAY_ENGINES: tuple[str, ...] = ("batch", "reference")
+REPLAY_ENGINES: tuple[str, ...] = LANE_ENGINES
 
 
 @dataclass(frozen=True)
@@ -123,21 +116,15 @@ class OnlineJob:
     name: str = "online"
 
     def __post_init__(self):
-        for field_name in ("budget", "window", "epoch", "horizon_epochs", "realloc_epochs", "unit", "hysteresis"):
-            if int(getattr(self, field_name)) < 1:
-                raise ValueError(f"{field_name} must be >= 1, got {getattr(self, field_name)}")
-        if int(self.unit) > int(self.budget):
-            raise ValueError(f"unit ({self.unit}) cannot exceed the budget ({self.budget})")
+        for field_name in ("budget", "window", "epoch", "horizon_epochs", "realloc_epochs", "hysteresis"):
+            check_positive(field_name, getattr(self, field_name))
+        check_unit(self.unit, self.budget)
         # Fail fast on the knobs otherwise only checked deep inside the run,
         # after the (expensive) exact whole-trace profiling already happened.
-        if self.method not in ("greedy", "dp", "hull"):
-            raise ValueError(f"method must be one of ('greedy', 'dp', 'hull'), got {self.method!r}")
-        if not 0.0 < float(self.rate) <= 1.0:
-            raise ValueError(f"rate must be in (0, 1], got {self.rate}")
-        if float(self.decay) < 0.0:
-            raise ValueError(f"decay must be >= 0, got {self.decay}")
-        if float(self.move_cost) < 0.0:
-            raise ValueError(f"move_cost must be >= 0, got {self.move_cost}")
+        check_choice("method", self.method, ("greedy", "dp", "hull"))
+        check_fraction("rate", self.rate)
+        check_non_negative("decay", self.decay)
+        check_non_negative("move_cost", self.move_cost)
         if float(self.threshold) <= 0.0:
             raise ValueError(f"threshold must be positive, got {self.threshold}")
 
@@ -233,113 +220,14 @@ class ReplayResult:
         }
 
 
-class PartitionedLRU:
-    """Per-tenant LRU partitions of one shared cache, resizable online.
-
-    Each tenant owns an isolated LRU partition of ``capacities[t]`` blocks.
-    :meth:`resize` applies a new split immediately: a shrunk partition evicts
-    from its least-recently-used end (so the move's warm-up cost surfaces as
-    ordinary misses on the next accesses), a grown one simply gains headroom.
-    A capacity of 0 bypasses the cache entirely (every access misses).
-
-    This per-event simulator is the *slow-path reference*: the replay engine
-    drives its lanes through the batch kernels of
-    :class:`repro.sim.partitioned.BatchPartitionedLRU` by default, and the
-    differential suite holds the two bit-identical on every schedule of
-    accesses and resizes.
-    """
-
-    def __init__(self, capacities: Sequence[int]):
-        self._capacities = [int(c) for c in capacities]
-        if any(c < 0 for c in self._capacities):
-            raise ValueError("partition capacities must be >= 0")
-        self._entries: list[OrderedDict[int, None]] = [OrderedDict() for _ in self._capacities]
-        self.hits = 0
-        self.misses = 0
-
-    @property
-    def capacities(self) -> tuple[int, ...]:
-        """Current per-tenant partition sizes in blocks."""
-        return tuple(self._capacities)
-
-    @property
-    def occupancies(self) -> tuple[int, ...]:
-        """Resident blocks per tenant (what a shrink eviction truncates)."""
-        return tuple(len(entries) for entries in self._entries)
-
-    def access(self, tenant: int, item: int) -> bool:
-        """Access ``item`` in tenant ``tenant``'s partition; ``True`` on a hit."""
-        capacity = self._capacities[tenant]
-        entries = self._entries[tenant]
-        if item in entries:
-            entries.move_to_end(item)
-            self.hits += 1
-            return True
-        self.misses += 1
-        if capacity == 0:
-            return False
-        if len(entries) >= capacity:
-            entries.popitem(last=False)
-        entries[item] = None
-        return False
-
-    def resize(self, capacities: Sequence[int]) -> None:
-        """Apply a new split; shrunk partitions evict their LRU blocks now."""
-        capacities = [int(c) for c in capacities]
-        if len(capacities) != len(self._capacities):
-            raise ValueError(f"got {len(capacities)} capacities for {len(self._capacities)} partitions")
-        if any(c < 0 for c in capacities):
-            raise ValueError("partition capacities must be >= 0")
-        for entries, capacity in zip(self._entries, capacities):
-            while len(entries) > capacity:
-                entries.popitem(last=False)
-        self._capacities = capacities
-
-    @property
-    def miss_ratio(self) -> float:
-        """Miss ratio over everything accessed so far (0 when nothing was)."""
-        total = self.hits + self.misses
-        return self.misses / total if total else 0.0
-
-
-_IDLE_CURVE_ACCESSES = 1
-
-
-def _idle_curve(unit: int) -> DiscretizedMRC:
-    """Zero-demand curve for a tenant with no (sampled) traffic: never allocate."""
-    return DiscretizedMRC(misses=np.zeros(1, dtype=np.float64), unit=unit, accesses=_IDLE_CURVE_ACCESSES)
-
-
 def _exact_discretized(task: tuple[np.ndarray, int, int]) -> DiscretizedMRC:
     """Pool worker: exact whole-stream MRC, discretized to allocation units."""
     stream, budget, unit = task
-    if stream.size == 0:
-        return _idle_curve(unit)
-    curve = mrc_from_trace(stream, max_cache_size=budget)
-    return discretize_curve(curve, budget, unit=unit)
-
-
-def _discretized_from_distances(distances: np.ndarray, budget: int, unit: int) -> DiscretizedMRC:
-    """Exact discretized MRC straight from precomputed stack distances.
-
-    Bit-identical to ``_exact_discretized`` on the stream the distances were
-    measured over (same histogram, same cumulative hits, same float ops) —
-    but free once the replay data plane has done its one distance pass per
-    tenant.  Cold accesses carry the :data:`~repro.cache.stack_distance.COLD`
-    sentinel, which is beyond any budget and falls out of the histogram.
-    """
-    n = int(distances.size)
-    if n == 0:
-        return _idle_curve(unit)
-    within = distances[distances <= budget]
-    hist = np.bincount(within - 1, minlength=budget)[:budget]
-    ratios = 1.0 - np.cumsum(hist).astype(np.float64) / n
-    curve = MissRatioCurve(ratios=tuple(ratios.tolist()), accesses=n)
-    return discretize_curve(curve, budget, unit=unit)
+    return exact_discretized_curve(stream, budget, unit)
 
 
 def _windowed_profile(task: tuple[WindowSnapshot, int, int]):
-    """Pool worker: windowed-sketch curve (for the detector) plus its discretization.
+    """Windowed-sketch curve (for the detector) plus its discretization.
 
     Returns ``(curve, discretized)``; ``curve`` is ``None`` for a tenant whose
     sampled window is empty (no traffic), which maps to the idle zero-demand
@@ -347,7 +235,7 @@ def _windowed_profile(task: tuple[WindowSnapshot, int, int]):
     """
     snapshot, budget, unit = task
     if snapshot.sampled == 0:
-        return None, _idle_curve(unit)
+        return None, idle_curve(unit)
     curve = curve_of_snapshot(snapshot, max_cache_size=budget)
     return curve, discretize_curve(curve, budget, unit=unit)
 
@@ -357,70 +245,6 @@ def _initial_split(num_tenants: int, budget: int, unit: int) -> tuple[int, ...]:
     units = budget // unit
     base, extra = divmod(units, num_tenants)
     return tuple((base + (1 if t < extra else 0)) * unit for t in range(num_tenants))
-
-
-class _LaneSet:
-    """The static/adaptive/oracle lane simulators behind one data plane.
-
-    ``batch`` shares one streaming stack-distance pass per tenant per chunk
-    across all three :class:`~repro.sim.partitioned.BatchPartitionedLRU`
-    lanes; ``reference`` steps three per-event :class:`PartitionedLRU`
-    simulators.  Both expose the same advance/resize surface so the replay
-    control loop above them is engine-agnostic.
-    """
-
-    def __init__(
-        self,
-        engine: str,
-        distance_arrays: Sequence[np.ndarray] | None,
-        allocations: dict[str, Sequence[int]],
-    ):
-        if engine not in REPLAY_ENGINES:
-            raise ValueError(f"engine must be one of {REPLAY_ENGINES}, got {engine!r}")
-        if engine == "reference":
-            self._distances = None
-            self._sims = {name: PartitionedLRU(capacities) for name, capacities in allocations.items()}
-        else:
-            # The per-tenant distance pass already ran (it produced the static
-            # and oracle profiles); chunks slice the same arrays for free.
-            self._distances = PrecomputedTenantDistances.from_arrays(distance_arrays)
-            self._sims = {name: BatchPartitionedLRU(capacities) for name, capacities in allocations.items()}
-
-    def advance(self, chunk_items: np.ndarray, chunk_ids: np.ndarray, counters: dict[str, list[int]]) -> None:
-        """Feed one chunk to every lane, folding hit/miss deltas into ``counters``."""
-        if self._distances is None:
-            # The per-event loop is the reference plane's hot path; plain
-            # Python ints (one tolist() per chunk) hash and compare much
-            # faster in the OrderedDict partitions than per-event numpy
-            # scalar unboxing.
-            event_pairs = list(zip(chunk_ids.tolist(), chunk_items.tolist()))
-            for key, sim in self._sims.items():
-                hits_before, misses_before = sim.hits, sim.misses
-                access = sim.access
-                for tenant, item in event_pairs:
-                    access(tenant, item)
-                counters[key][0] += sim.hits - hits_before
-                counters[key][1] += sim.misses - misses_before
-        else:
-            # One distance pass per tenant serves all three capacity
-            # schedules: distances are a property of the tenant stream alone.
-            distances = self._distances.feed(chunk_items, chunk_ids)
-            for key, sim in self._sims.items():
-                hits, misses = sim.run_segment(distances)
-                counters[key][0] += hits
-                counters[key][1] += misses
-
-    def resize(self, lane: str, capacities: Sequence[int]) -> None:
-        """Apply a new split to one lane (shrink evictions included)."""
-        self._sims[lane].resize(capacities)
-
-    def capacities(self, lane: str) -> tuple[int, ...]:
-        """Current per-tenant split of one lane."""
-        return self._sims[lane].capacities
-
-    def miss_ratio(self, lane: str) -> float:
-        """Overall miss ratio of one lane so far."""
-        return self._sims[lane].miss_ratio
 
 
 def run_replay(
@@ -465,24 +289,20 @@ def run_replay(
             # profiles (histogram of the whole array), the per-phase oracle
             # profiles (an access whose previous access predates the phase is
             # simply cold there — no re-processing), and then drives every lane.
-            tenant_positions = [np.flatnonzero(ids == t) for t in range(num_tenants)]
-            passes = [stack_distances_with_previous(items[idx]) for idx in tenant_positions]
-            distance_arrays = [distances for distances, _previous in passes]
-            static_curves = [_discretized_from_distances(distances, budget, unit) for distances in distance_arrays]
-            phase_curves = []
-            for p in range(workload.num_phases):
-                bounds = workload.phase_slice(p)
-                for t in range(num_tenants):
-                    lo, hi = (int(x) for x in np.searchsorted(tenant_positions[t], bounds))
-                    distances, previous = passes[t]
-                    adjusted = np.where(previous[lo:hi] >= lo, distances[lo:hi], np.int64(COLD))
-                    phase_curves.append(_discretized_from_distances(adjusted, budget, unit))
+            passes = TenantDistancePasses(items, ids, num_tenants)
+            distance_arrays = passes.distances
+            static_curves = [passes.whole_stream_curve(t, budget, unit) for t in range(num_tenants)]
+            phase_curves = [
+                passes.window_curve(t, workload.phase_slice(p), budget, unit)
+                for p in range(workload.num_phases)
+                for t in range(num_tenants)
+            ]
     static_allocation = controller.propose(static_curves)
     oracle_allocations = []
     for p in range(workload.num_phases):
         oracle_allocations.append(controller.propose(phase_curves[p * num_tenants : (p + 1) * num_tenants]))
 
-    lanes = _LaneSet(
+    lanes = LaneSet(
         engine,
         distance_arrays,
         {
@@ -501,8 +321,7 @@ def run_replay(
 
     # Stops are every epoch end plus every phase boundary (oracle resizes
     # there); chunks between stops are processed with batched sketch updates.
-    epoch_ends = set(range(job.epoch, n, job.epoch)) | {n}
-    stops = sorted(epoch_ends | {b for b in workload.boundaries if b > 0})
+    stops, epoch_ends = replay_stops(n, job.epoch, workload.boundaries)
 
     epochs: list[EpochStats] = []
     profiled_references = 0
@@ -585,7 +404,7 @@ def run_replay(
             # Label the epoch with the phase of its *last event*: when an epoch
             # ends exactly on a boundary, `phase` has already advanced to the
             # next regime even though every recorded event belongs to the old one.
-            last_event_phase = int(np.searchsorted(workload.boundaries, position - 1, side="right")) - 1
+            last_event_phase = phase_of_last_event(workload.boundaries, position)
             epochs.append(
                 EpochStats(
                     index=epoch_index,

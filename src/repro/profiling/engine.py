@@ -32,8 +32,9 @@ from pathlib import Path
 import numpy as np
 
 from ..cache.mrc import MissRatioCurve, mrc_from_trace
+from ..engine.job import PROFILE_MODES, check_choice
+from ..engine.runner import check_workers, pool_map
 from ..obs import get_registry, span
-from .pool import check_workers, pool_map
 from .reuse import ReuseTimeHistogram
 from .shards import shards_mrc
 
@@ -49,7 +50,8 @@ __all__ = [
     "parallel_reuse_mrc",
 ]
 
-MODES = ("exact", "shards", "reuse")
+#: Profiling modes (the engine-wide set).
+MODES = PROFILE_MODES
 
 
 @dataclass(frozen=True)
@@ -75,8 +77,7 @@ class ProfileJob:
     def __post_init__(self):
         if (self.trace is None) == (self.path is None):
             raise ValueError("provide exactly one of trace= or path=")
-        if self.mode not in MODES:
-            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        check_choice("mode", self.mode, MODES)
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,20 @@ class ProfileResult:
     curve: MissRatioCurve
     accesses: int
     seconds: float
+
+    def rows(self) -> list[dict]:
+        """Per-cache-size curve rows for tables and CSV export."""
+        return [{"cache_size": c + 1, "miss_ratio": ratio} for c, ratio in enumerate(self.curve.ratios)]
+
+    def summary(self) -> dict:
+        """One aggregate row (name, mode, size and timing of the profile)."""
+        return {
+            "job": self.name,
+            "mode": self.mode,
+            "accesses": self.accesses,
+            "curve_points": self.curve.max_cache_size,
+            "seconds": self.seconds,
+        }
 
 
 def _load(job: ProfileJob) -> np.ndarray:

@@ -1,99 +1,29 @@
-"""Shared multiprocessing utilities for the profiling and sweep engines.
+"""Deprecated alias of :mod:`repro.engine.runner` (the engine's pool runner).
 
-Both :mod:`repro.profiling.engine` and :mod:`repro.sim.sweep` fan independent
-tasks across a process pool.  The helpers here centralise the two conventions
-those engines share:
-
-* **fork first** — the ``fork`` start method lets workers inherit large trace
-  arrays copy-on-write instead of pickling them; platforms without ``fork``
-  fall back to the default start method.
-* **inline when trivial** — ``pool_map`` runs the tasks in the current process
-  when a pool would not help (one worker or at most one task), which keeps
-  single-process runs deterministic, debuggable and free of pool overhead.
-
-``workers`` is always validated the same way: any integer below 1 is an error
-rather than a silent serial fallback.
-
-When a metrics registry is recording (:func:`repro.obs.get_registry`),
-``pool_map`` additionally times every task.  Workers cannot record into the
-parent's registry (they are separate processes), so each task is wrapped to
-*return* its wall-clock seconds alongside its result and the parent folds
-the durations into the ``pool.task`` span aggregate in task order — the
-same order ``pool.map`` returns results in — making the recorded aggregate
-deterministic regardless of completion order.  With nothing recording, the
-seed code path runs unchanged.
+The shared multiprocessing utilities that used to live here were folded into
+the experiment engine's worker-pool runner when ``repro.engine`` became the
+single execution substrate.  Importing names through this module keeps
+working but emits a :class:`DeprecationWarning`; new code should import from
+:mod:`repro.engine` (or :mod:`repro.engine.runner`) directly.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import time
-from collections.abc import Callable, Sequence
-from functools import partial
-from typing import Any
+import warnings
 
-from ..obs import get_registry
+from ..engine import runner as _runner
 
 __all__ = ["check_workers", "fork_available", "fork_pool", "pool_map"]
 
 
-def fork_available() -> bool:
-    """Whether the ``fork`` start method (copy-on-write globals) exists here."""
-    try:
-        multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platforms without fork
-        return False
-    return True
-
-
-def check_workers(workers: int) -> int:
-    """Validate a worker count (must be a positive integer)."""
-    workers = int(workers)
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-    return workers
-
-
-def fork_pool(workers: int):
-    """A ``multiprocessing`` pool using the ``fork`` start method when available."""
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platforms without fork
-        context = multiprocessing.get_context()
-    return context.Pool(processes=check_workers(workers))
-
-
-def _timed_call(function: Callable[[Any], Any], task: Any) -> tuple[Any, float]:
-    """Run one task, returning ``(result, seconds)`` so timings survive the pool."""
-    start = time.perf_counter()
-    result = function(task)
-    return result, time.perf_counter() - start
-
-
-def pool_map(function: Callable[[Any], Any], tasks: Sequence[Any], *, workers: int = 1) -> list[Any]:
-    """Map ``function`` over ``tasks``, preserving task order.
-
-    Runs inline (no pool) when ``workers == 1`` or there is at most one task;
-    otherwise fans out over ``min(workers, len(tasks))`` forked processes.
-    ``function`` and every task must be picklable in the pooled case.
-    """
-    workers = check_workers(workers)
-    tasks = list(tasks)
-    registry = get_registry()
-    if registry.enabled:
-        name = getattr(function, "__name__", repr(function))
-        timed = partial(_timed_call, function)
-        if workers == 1 or len(tasks) <= 1:
-            outcomes = [timed(task) for task in tasks]
-        else:
-            with fork_pool(min(workers, len(tasks))) as pool:
-                outcomes = pool.map(timed, tasks)
-        registry.counter("pool.tasks", function=name).add(len(outcomes))
-        registry.gauge("pool.workers", function=name).set(min(workers, max(len(tasks), 1)))
-        for _, seconds in outcomes:  # task order == pool.map order: deterministic
-            registry.record_span("pool.task", seconds, function=name)
-        return [result for result, _ in outcomes]
-    if workers == 1 or len(tasks) <= 1:
-        return [function(task) for task in tasks]
-    with fork_pool(min(workers, len(tasks))) as pool:
-        return pool.map(function, tasks)
+def __getattr__(name: str):
+    """Forward attribute access to the engine runner with a deprecation warning."""
+    if name.startswith("_") or not hasattr(_runner, name):
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    warnings.warn(
+        f"repro.profiling.pool.{name} moved to repro.engine.runner.{name}; "
+        "the repro.profiling.pool alias will be removed in a future release",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(_runner, name)

@@ -14,7 +14,7 @@ subsystem collapses that matrix:
 :mod:`repro.sim.sweep`
     The :class:`~repro.sim.sweep.SweepJob` / :class:`~repro.sim.sweep.SweepResult`
     API and :func:`~repro.sim.sweep.run_sweep`, which fans kernel tasks across
-    the shared :mod:`repro.profiling.pool` process pool.  Results are
+    the engine's shared process pool (:mod:`repro.engine.runner`).  Results are
     bit-identical for every ``workers`` value, including the seeded random
     policy.
 :mod:`repro.sim.partitioned`
@@ -47,13 +47,8 @@ from .kernels import (
     random_sweep_hits,
     set_associative_sweep_hits,
 )
-from .partitioned import (
-    BatchPartitionedLRU,
-    PrecomputedTenantDistances,
-    TenantDistanceStreams,
-    partitioned_lru_segment,
-    replay_partitioned,
-)
+from ..engine.columnar import PrecomputedTenantDistances, TenantDistanceStreams
+from .partitioned import BatchPartitionedLRU, partitioned_lru_segment, replay_partitioned
 from .sweep import POLICIES, PolicySweep, SweepJob, SweepResult, naive_sweep_hits, run_sweep
 
 __all__ = [

@@ -28,10 +28,6 @@ not depend on the capacity schedule at all, so one distance pass per tenant
 * :class:`BatchPartitionedLRU` — the multi-tenant wrapper with the same
   ``resize`` / ``capacities`` / ``miss_ratio`` surface as the reference, but
   advancing a whole segment per call.
-* :class:`TenantDistanceStreams` — splits a composed (items, tenant ids)
-  segment into per-tenant distance arrays, carried across segments.
-* :class:`PrecomputedTenantDistances` — the in-memory fast path: one
-  whole-stream distance pass per tenant up front, sliced per segment.
 * :func:`replay_partitioned` — a bounded-memory streaming replay: segments
   in, hit/miss totals out; pairs with :mod:`repro.trace.streaming` to replay
   ``numpy.memmap``-backed traces of ``10^7+`` references.
@@ -43,16 +39,14 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from ..cache.stack_distance import StackDistanceStream, stack_distances_vectorized
+from ..engine.columnar import TenantDistanceStreams as _TenantDistanceStreams
 from ..obs import get_registry, span
 
-__all__ = [
-    "partitioned_lru_segment",
-    "BatchPartitionedLRU",
-    "TenantDistanceStreams",
-    "PrecomputedTenantDistances",
-    "replay_partitioned",
-]
+__all__ = ["partitioned_lru_segment", "BatchPartitionedLRU", "replay_partitioned"]
+
+#: Names that moved into :mod:`repro.engine.columnar`; kept importable here
+#: through a deprecation shim (see ``__getattr__`` below).
+_MOVED_TO_ENGINE = ("TenantDistanceStreams", "PrecomputedTenantDistances")
 
 
 def partitioned_lru_segment(distances: np.ndarray, capacity: int, occupancy: int = 0) -> tuple[int, int]:
@@ -180,109 +174,6 @@ class BatchPartitionedLRU:
         return self.misses / total if total else 0.0
 
 
-def _check_tenant_ids(tenant_ids: np.ndarray, num_tenants: int) -> None:
-    """Reject tenant ids outside ``[0, num_tenants)``.
-
-    Splitting with boolean masks would otherwise silently *drop* the events
-    of an out-of-range tenant — wrong totals instead of an error, where the
-    per-event reference simulator raises.
-    """
-    if tenant_ids.size and not 0 <= int(tenant_ids.min()) <= int(tenant_ids.max()) < num_tenants:
-        raise ValueError(
-            f"tenant ids must be within [0, {num_tenants}), got range "
-            f"[{int(tenant_ids.min())}, {int(tenant_ids.max())}]"
-        )
-
-
-class TenantDistanceStreams:
-    """Per-tenant streaming stack distances over a composed multi-tenant trace.
-
-    Each tenant's partition is isolated, so its distances are measured on its
-    own sub-stream; this wrapper splits a composed ``(items, tenant_ids)``
-    segment and feeds each tenant's share to a carried
-    :class:`~repro.cache.stack_distance.StackDistanceStream`.  The resulting
-    per-tenant distance arrays are what every lane of a replay shares — the
-    expensive pass happens once per segment regardless of how many capacity
-    schedules are measured on top of it.
-    """
-
-    def __init__(self, num_tenants: int):
-        if int(num_tenants) < 1:
-            raise ValueError(f"num_tenants must be >= 1, got {num_tenants}")
-        self._streams = [StackDistanceStream() for _ in range(int(num_tenants))]
-
-    @property
-    def num_tenants(self) -> int:
-        """Number of tenant streams."""
-        return len(self._streams)
-
-    def feed(self, items: np.ndarray, tenant_ids: np.ndarray) -> list[np.ndarray]:
-        """Split one composed segment and return per-tenant distance arrays."""
-        items = np.asarray(items)
-        tenant_ids = np.asarray(tenant_ids)
-        if items.shape != tenant_ids.shape:
-            raise ValueError(f"items and tenant_ids must align, got {items.shape} vs {tenant_ids.shape}")
-        _check_tenant_ids(tenant_ids, len(self._streams))
-        return [self._streams[t].feed(items[tenant_ids == t]) for t in range(len(self._streams))]
-
-
-class PrecomputedTenantDistances:
-    """Whole-stream per-tenant stack distances, sliced out chunk by chunk.
-
-    The in-memory fast path of the replay data plane: when the composed
-    trace is fully resident anyway, one vectorised distance pass per tenant
-    up front beats re-running the (overhead-bound) chunked pass on every
-    small epoch segment.  ``feed`` has the same surface as
-    :class:`TenantDistanceStreams` and yields bit-identical arrays — the
-    streaming variant exists for traces too large to hold in memory.
-    """
-
-    def __init__(self, items: np.ndarray, tenant_ids: np.ndarray, num_tenants: int):
-        items = np.asarray(items)
-        tenant_ids = np.asarray(tenant_ids)
-        if items.shape != tenant_ids.shape:
-            raise ValueError(f"items and tenant_ids must align, got {items.shape} vs {tenant_ids.shape}")
-        if int(num_tenants) < 1:
-            raise ValueError(f"num_tenants must be >= 1, got {num_tenants}")
-        _check_tenant_ids(tenant_ids, int(num_tenants))
-        self._distances = [stack_distances_vectorized(items[tenant_ids == t]) for t in range(int(num_tenants))]
-        self._cursors = [0] * int(num_tenants)
-
-    @classmethod
-    def from_arrays(cls, distances: Sequence[np.ndarray]) -> "PrecomputedTenantDistances":
-        """Wrap already-computed per-tenant distance arrays (no extra pass).
-
-        This is how the replay engine amortises its one distance pass per
-        tenant across *every* consumer: the same arrays produce the static
-        and per-phase oracle profiles and then drive all three lanes.
-        """
-        if not distances:
-            raise ValueError("need at least one tenant distance array")
-        provider = cls.__new__(cls)
-        provider._distances = [np.asarray(d) for d in distances]
-        provider._cursors = [0] * len(provider._distances)
-        return provider
-
-    @property
-    def num_tenants(self) -> int:
-        """Number of tenant streams."""
-        return len(self._distances)
-
-    def feed(self, chunk_items: np.ndarray, chunk_ids: np.ndarray) -> list[np.ndarray]:
-        """Per-tenant distance slices for the next chunk of the composed trace."""
-        chunk_ids = np.asarray(chunk_ids)
-        _check_tenant_ids(chunk_ids, len(self._distances))
-        out = []
-        for tenant, distances in enumerate(self._distances):
-            count = int(np.count_nonzero(chunk_ids == tenant))
-            cursor = self._cursors[tenant]
-            if cursor + count > distances.size:
-                raise ValueError(f"tenant {tenant} fed past the precomputed stream ({distances.size} references)")
-            out.append(distances[cursor : cursor + count])
-            self._cursors[tenant] = cursor + count
-        return out
-
-
 def replay_partitioned(
     segments: Iterable[tuple[np.ndarray, np.ndarray]],
     capacities: Sequence[int],
@@ -297,7 +188,7 @@ def replay_partitioned(
     finished :class:`BatchPartitionedLRU` with its hit/miss totals.
     """
     simulator = BatchPartitionedLRU(capacities)
-    streams = TenantDistanceStreams(len(simulator.capacities))
+    streams = _TenantDistanceStreams(len(simulator.capacities))
     registry = get_registry()
     with span("replay.partitioned"):
         for items, tenant_ids in segments:
@@ -305,3 +196,20 @@ def replay_partitioned(
             registry.counter("replay.segments").inc()
     registry.counter("replay.events").add(simulator.hits + simulator.misses)
     return simulator
+
+
+def __getattr__(name: str):
+    """Forward the distance providers that moved to :mod:`repro.engine.columnar`."""
+    if name in _MOVED_TO_ENGINE:
+        import warnings
+
+        from ..engine import columnar
+
+        warnings.warn(
+            f"repro.sim.partitioned.{name} moved to repro.engine.columnar.{name}; "
+            "the repro.sim.partitioned alias will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(columnar, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,9 +14,10 @@ once per configuration:
 * **set-associative** — capacities are independent set-partitioned
   stack-distance passes, fanned out one capacity per pool task.
 
-The pool plumbing is shared with the profiling engine
-(:mod:`repro.profiling.pool`); ``workers=1`` runs everything inline and is
-always bit-identical to any ``workers > 1`` run with the same job.
+The pool plumbing is the engine runner (:mod:`repro.engine.runner`), shared
+with the profiling engine and the online replay; ``workers=1`` runs
+everything inline and is always bit-identical to any ``workers > 1`` run
+with the same job.
 
 Item labels are density-compacted once up front
 (:func:`~repro.sim.kernels.compact_trace`) for the flat-table LRU/FIFO/random
@@ -33,8 +34,9 @@ from pathlib import Path
 
 import numpy as np
 
+from ..engine.job import check_positive
+from ..engine.runner import check_workers, fork_available, pool_map, published_arrays, resolve_array
 from ..obs import get_registry, span
-from ..profiling.pool import check_workers, fork_available, pool_map
 from .kernels import (
     check_capacities,
     compact_trace,
@@ -83,8 +85,7 @@ class SweepJob:
             raise ValueError("need at least one policy to sweep")
         caps = check_capacities(np.asarray(self.capacities))
         normalised = tuple(int(c) for c in np.unique(caps))
-        if int(self.ways) < 1:
-            raise ValueError(f"ways must be >= 1, got {self.ways}")
+        check_positive("ways", self.ways)
         if "set-associative" in policies and not any(c % int(self.ways) == 0 for c in normalised):
             raise ValueError(
                 f"set-associative sweep needs at least one capacity that is a "
@@ -163,6 +164,17 @@ class SweepResult:
                 )
         return out
 
+    def summary(self) -> dict:
+        """One aggregate scoreboard row across every swept policy."""
+        return {
+            "trace": self.name,
+            "accesses": self.accesses,
+            "footprint": self.footprint,
+            "policies": len(self.sweeps),
+            "points": sum(len(sweep.capacities) for sweep in self.sweeps),
+            "seconds": sum(sweep.seconds for sweep in self.sweeps),
+        }
+
 
 def _load(job: SweepJob) -> np.ndarray:
     if job.trace is not None:
@@ -171,12 +183,6 @@ def _load(job: SweepJob) -> np.ndarray:
 
     return read_text(Path(job.path)).accesses
 
-
-#: Trace arrays published for forked pool workers.  ``run_sweep`` fills this
-#: immediately before creating its pool (children inherit it copy-on-write)
-#: and clears it afterwards, so the task tuples stay a few bytes each instead
-#: of pickling the whole trace through the task queue once per task.
-_FORKED_TRACES: dict[str, np.ndarray] = {}
 
 #: Keys into the per-task trace payload: the lane kernels want compacted
 #: labels, the set-associative kernel the original ones (its ``item %
@@ -187,7 +193,7 @@ _TRACE_KEY = {"lru": "dense", "fifo": "dense", "random": "dense", "set-associati
 def _run_task(task: tuple) -> tuple[str, tuple[int, ...], np.ndarray, float]:
     """Evaluate one (policy, capacity-chunk) task; returns hits plus compute seconds."""
     policy, caps, payload, distinct, ways, seed = task
-    trace = _FORKED_TRACES[payload] if isinstance(payload, str) else payload
+    trace = resolve_array(payload)
     capacities = np.asarray(caps, dtype=np.int64)
     with span("sweep.task", policy=policy) as timer:
         if policy == "lru":
@@ -209,8 +215,9 @@ def _tasks_for(job: SweepJob, arrays: dict[str, np.ndarray], distinct: int, work
     LRU is always a single task (one histogram pass covers the whole grid);
     FIFO/random grids are chunked only when a pool exists, because each chunk
     re-walks the trace; set-associative capacities are independent passes and
-    fan out one per task.  With ``by_key`` the tasks reference the trace via
-    :data:`_FORKED_TRACES` instead of embedding the array.
+    fan out one per task.  With ``by_key`` the tasks reference the trace by
+    its :func:`repro.engine.runner.published_arrays` key instead of embedding
+    the array, so task tuples stay a few bytes each.
     """
     tasks: list[tuple] = []
     for policy in job.policies:
@@ -244,11 +251,11 @@ def run_sweep(job: SweepJob, *, workers: int = 1) -> SweepResult:
     by_key = workers > 1 and fork_available()
     tasks = _tasks_for(job, arrays, distinct, workers, by_key)
     if by_key:
-        _FORKED_TRACES.update(arrays)
-        try:
+        # Publish the trace arrays through the engine runner so forked
+        # children inherit them copy-on-write instead of pickling the whole
+        # trace through the task queue once per task.
+        with published_arrays(arrays):
             outcomes = pool_map(_run_task, tasks, workers=workers)
-        finally:
-            _FORKED_TRACES.clear()
     else:
         outcomes = pool_map(_run_task, tasks, workers=workers)
 

@@ -1,49 +1,30 @@
-"""Unit tests for the shared process-pool helpers."""
+"""The deprecated ``repro.profiling.pool`` alias forwards to the engine runner."""
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro.profiling.pool import check_workers, pool_map
+from repro.engine import runner
 
 
-def _square(x: int) -> int:
-    return x * x
+class TestDeprecatedAlias:
+    def test_forwards_with_deprecation_warning(self):
+        from repro.profiling import pool
 
+        with pytest.warns(DeprecationWarning, match="moved to repro.engine.runner"):
+            assert pool.pool_map is runner.pool_map
+        with pytest.warns(DeprecationWarning):
+            assert pool.check_workers is runner.check_workers
 
-def _tag_pid(x: int) -> tuple[int, int]:
-    return x, os.getpid()
+    def test_unknown_attribute_raises(self):
+        from repro.profiling import pool
 
+        with pytest.raises(AttributeError):
+            pool.no_such_helper
 
-class TestCheckWorkers:
-    def test_accepts_positive(self):
-        assert check_workers(1) == 1
-        assert check_workers(8) == 8
+    def test_package_level_import_stays_silent(self, recwarn):
+        from repro.profiling import check_workers, pool_map
 
-    @pytest.mark.parametrize("bad", [0, -1])
-    def test_rejects_non_positive(self, bad):
-        with pytest.raises(ValueError):
-            check_workers(bad)
-
-
-class TestPoolMap:
-    def test_inline_when_single_worker(self):
-        values, pids = zip(*pool_map(_tag_pid, [1, 2, 3], workers=1))
-        assert values == (1, 2, 3)
-        assert set(pids) == {os.getpid()}
-
-    def test_inline_when_single_task(self):
-        _, pid = pool_map(_tag_pid, [5], workers=4)[0]
-        assert pid == os.getpid()
-
-    def test_pooled_preserves_order(self):
-        assert pool_map(_square, list(range(20)), workers=3) == [x * x for x in range(20)]
-
-    def test_empty_tasks(self):
-        assert pool_map(_square, [], workers=4) == []
-
-    def test_rejects_bad_workers(self):
-        with pytest.raises(ValueError):
-            pool_map(_square, [1], workers=0)
+        assert pool_map is runner.pool_map
+        assert check_workers is runner.check_workers
+        assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]

@@ -6,14 +6,8 @@ import numpy as np
 import pytest
 
 from repro.cache.stack_distance import COLD, StackDistanceStream, stack_distances_vectorized
-from repro.online.replay import PartitionedLRU
-from repro.sim.partitioned import (
-    BatchPartitionedLRU,
-    PrecomputedTenantDistances,
-    TenantDistanceStreams,
-    partitioned_lru_segment,
-    replay_partitioned,
-)
+from repro.engine import PartitionedLRU, PrecomputedTenantDistances, TenantDistanceStreams
+from repro.sim.partitioned import BatchPartitionedLRU, partitioned_lru_segment, replay_partitioned
 from repro.trace import as_streaming
 
 

@@ -1,0 +1,73 @@
+"""Snapshot test of the public API surface.
+
+The committed snapshot (``tests/fixtures/api_surface.json``) enumerates
+the :mod:`repro.api` facade and every package-level ``__all__``.  Any
+addition, removal, or rename of a public name fails this test until the
+snapshot is deliberately regenerated — making API changes an explicit,
+reviewable act rather than an accident.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python tests/test_api_surface.py --regenerate
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+from pathlib import Path
+
+SNAPSHOT = Path(__file__).resolve().parent / "fixtures" / "api_surface.json"
+
+#: Every module whose ``__all__`` is part of the public contract.  The
+#: facade comes first; the rest are the importable subpackages.
+PUBLIC_MODULES = (
+    "repro.api",
+    "repro",
+    "repro.alloc",
+    "repro.analysis",
+    "repro.cache",
+    "repro.core",
+    "repro.engine",
+    "repro.ml",
+    "repro.obs",
+    "repro.online",
+    "repro.profiling",
+    "repro.sim",
+    "repro.trace",
+)
+
+
+def current_surface() -> dict[str, list[str]]:
+    """Enumerate the live public surface, sorted for stable diffs."""
+    surface: dict[str, list[str]] = {}
+    for name in PUBLIC_MODULES:
+        module = importlib.import_module(name)
+        surface[name] = sorted(module.__all__)
+    return surface
+
+
+def test_surface_matches_snapshot():
+    recorded = json.loads(SNAPSHOT.read_text(encoding="utf-8"))
+    live = current_surface()
+    assert live == recorded, (
+        "public API surface drifted from tests/fixtures/api_surface.json; "
+        "if the change is intentional, regenerate with "
+        "`PYTHONPATH=src python tests/test_api_surface.py --regenerate`"
+    )
+
+
+def test_facade_names_resolve():
+    api = importlib.import_module("repro.api")
+    for name in api.__all__:
+        assert getattr(api, name, None) is not None, f"repro.api.{name} listed but missing"
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        SNAPSHOT.write_text(json.dumps(current_surface(), indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {SNAPSHOT}")
+    else:
+        print(json.dumps(current_surface(), indent=2))

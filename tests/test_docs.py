@@ -26,6 +26,8 @@ DOC_PAGES = sorted(DOCS_DIR.glob("*.md"))
 #: Modules whose docstring examples are part of the public documentation.
 DOCTESTED_MODULES = [
     "repro",
+    "repro.api",
+    "repro.engine",
     "repro.core",
     "repro.trace",
     "repro.trace.tenancy",
@@ -54,7 +56,7 @@ def test_docs_pages_exist_and_doctests_pass(page):
 
 def test_docs_tree_is_complete():
     names = {page.name for page in DOC_PAGES}
-    assert {"index.md", "architecture.md", "cli.md", "theory.md"} <= names
+    assert {"index.md", "api.md", "architecture.md", "cli.md", "theory.md"} <= names
 
 
 @pytest.mark.parametrize("module_name", DOCTESTED_MODULES)
