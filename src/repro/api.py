@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - import-time typing only
     from .alloc.partition import PartitionJob, PartitionResult
     from .online.replay import OnlineJob, ReplayResult
     from .profiling.engine import ProfileJob, ProfileResult
+    from .resilience.policy import RetryPolicy
     from .sim.sweep import SweepJob, SweepResult
     from .trace.drift import DriftingWorkload
 
@@ -124,6 +125,10 @@ def run(
     workload: "DriftingWorkload | None" = None,
     workers: int = 1,
     engine: str = "batch",
+    policy: "RetryPolicy | None" = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
     csv_path: str | Path | None = None,
     metrics_path: str | Path | None = None,
 ) -> ExperimentResult:
@@ -135,22 +140,50 @@ def run(
     :class:`~repro.online.replay.OnlineJob`).  ``workload`` is required for —
     and only accepted by — online jobs; ``engine`` selects the online replay
     data plane.  ``workers`` never changes any result.
+
+    The fault-tolerance knobs apply to the job types that support them:
+    ``policy`` (a :class:`repro.resilience.RetryPolicy`) hardens the process
+    pool of online and sweep jobs, and ``checkpoint_dir`` /
+    ``checkpoint_every`` / ``resume`` give those two crash-safe progress
+    snapshots and bit-identical resumption (see :mod:`repro.resilience`).
+    Passing any of them with a profile or partition job is an error.
     """
     ProfileJob, SweepJob, PartitionJob, OnlineJob = _jobs_module()
+    resilient = policy is not None or checkpoint_dir is not None or resume
     if isinstance(job, OnlineJob):
         if workload is None:
             raise ValueError("online jobs need a workload= (a DriftingWorkload or preset)")
         from .online.replay import run_replay
 
-        runner = lambda: run_replay(workload, job, workers=workers, engine=engine)  # noqa: E731
+        runner = lambda: run_replay(  # noqa: E731
+            workload,
+            job,
+            workers=workers,
+            engine=engine,
+            policy=policy,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
         command = "online"
     elif workload is not None:
         raise ValueError(f"workload= only applies to online jobs, got {type(job).__name__}")
     elif isinstance(job, SweepJob):
         from .sim.sweep import run_sweep
 
-        runner = lambda: run_sweep(job, workers=workers)  # noqa: E731
+        runner = lambda: run_sweep(  # noqa: E731
+            job,
+            workers=workers,
+            policy=policy,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
         command = "sweep"
+    elif resilient:
+        raise ValueError(
+            f"policy=/checkpoint_dir=/resume= apply to online and sweep jobs only, got {type(job).__name__}"
+        )
     elif isinstance(job, PartitionJob):
         from .alloc.partition import run_partition
 
@@ -227,6 +260,10 @@ def sweep(
     ways: int = 4,
     seed: int = 0,
     workers: int = 1,
+    policy: "RetryPolicy | None" = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
     csv_path: str | Path | None = None,
     metrics_path: str | Path | None = None,
 ) -> "SweepResult":
@@ -234,7 +271,9 @@ def sweep(
 
     Exactly one of ``trace`` (integer array) or ``path`` (text trace file)
     selects the workload; the remaining knobs mirror
-    :class:`~repro.sim.sweep.SweepJob`.
+    :class:`~repro.sim.sweep.SweepJob`.  ``policy`` / ``checkpoint_dir`` /
+    ``checkpoint_every`` / ``resume`` are the fault-tolerance knobs of
+    :func:`repro.sim.sweep.run_sweep`.
     """
     from .sim.sweep import SweepJob
 
@@ -247,7 +286,16 @@ def sweep(
         ways=ways,
         seed=seed,
     )
-    return run(job, workers=workers, csv_path=csv_path, metrics_path=metrics_path)
+    return run(
+        job,
+        workers=workers,
+        policy=policy,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+        csv_path=csv_path,
+        metrics_path=metrics_path,
+    )
 
 
 def partition(
@@ -309,6 +357,10 @@ def online(
     name: str | None = None,
     workers: int = 1,
     engine: str = "batch",
+    policy: "RetryPolicy | None" = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
     csv_path: str | Path | None = None,
     metrics_path: str | Path | None = None,
 ) -> "ReplayResult":
@@ -318,7 +370,9 @@ def online(
     the presets ``"three-phase"`` / ``"churn"`` (built with ``length`` and
     ``seed``; both are ignored for an already-built workload).  The remaining
     knobs mirror :class:`~repro.online.replay.OnlineJob`; ``engine`` selects
-    the replay data plane (``batch`` | ``reference``, bit-identical).
+    the replay data plane (``batch`` | ``reference``, bit-identical);
+    ``policy`` / ``checkpoint_dir`` / ``checkpoint_every`` / ``resume`` are
+    the fault-tolerance knobs of :func:`repro.online.replay.run_replay`.
     """
     from .online.replay import OnlineJob
 
@@ -347,4 +401,15 @@ def online(
         profile_seed=profile_seed,
         name=name or "online",
     )
-    return run(job, workload=workload, workers=workers, engine=engine, csv_path=csv_path, metrics_path=metrics_path)
+    return run(
+        job,
+        workload=workload,
+        workers=workers,
+        engine=engine,
+        policy=policy,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+        csv_path=csv_path,
+        metrics_path=metrics_path,
+    )

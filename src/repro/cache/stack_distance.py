@@ -309,6 +309,25 @@ class StackDistanceStream:
         """Number of distinct items seen so far."""
         return int(self._labels.size)
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the carried state (for checkpoint/resume).
+
+        The whole carried state is the sorted distinct labels, their aligned
+        last-access positions, and the clock — restoring it and continuing to
+        :meth:`feed` is bit-identical to never having stopped.
+        """
+        return {
+            "labels": self._labels.copy(),
+            "positions": self._positions.copy(),
+            "clock": int(self._clock),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore carried state captured by :meth:`state_dict`."""
+        self._labels = np.asarray(state["labels"], dtype=np.int64).copy()
+        self._positions = np.asarray(state["positions"], dtype=np.int64).copy()
+        self._clock = int(state["clock"])
+
     def feed(self, chunk: Sequence[int] | np.ndarray) -> np.ndarray:
         """Consume one chunk; return its whole-stream stack distances.
 

@@ -22,7 +22,8 @@ subcommands cover the common workflows:
     ``--capacities`` grid in one (or few) passes — the whole LRU grid from a
     single stack-distance pass, FIFO/random lane-vectorised, set-associative
     fanned per capacity — with ``--workers`` spreading kernel tasks across
-    processes without changing any result.
+    processes without changing any result.  ``--checkpoint DIR`` memoizes
+    finished tasks to disk and ``--resume`` continues an interrupted sweep.
 ``partition``
     Divide a shared cache among co-running tenants via the
     :mod:`repro.alloc` optimizer: ``--tenants`` names the workloads (inline
@@ -38,7 +39,8 @@ subcommands cover the common workflows:
     ``--epoch`` events, phase-change detection, and move-cost-gated
     re-allocation (``--method``, ``--move-cost``), reporting the per-epoch
     miss-ratio series of static vs. adaptive vs. oracle-per-phase
-    partitioning.
+    partitioning.  ``--checkpoint DIR`` snapshots the replay state at epoch
+    boundaries and ``--resume`` continues a killed replay bit-identically.
 ``chain``
     Run ChainFind on ``S_m`` with a chosen labeling and print the tie
     statistics (the Figure 2 measurement for a single size).
@@ -241,6 +243,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ways=args.ways,
             seed=args.seed,
             workers=args.workers,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -425,6 +430,9 @@ def _cmd_online(args: argparse.Namespace) -> int:
             profile_seed=args.profile_seed,
             workers=args.workers,
             engine=args.engine,
+            checkpoint_dir=args.checkpoint,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -638,6 +646,30 @@ def _engine_flags(*, seed_default: int, seed_help: str, workers_help: str, csv_h
     return parent
 
 
+def _checkpoint_flags() -> argparse.ArgumentParser:
+    """Parent parser with the crash-safety flags sweep and online share."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="snapshot progress into this directory (atomic, checksummed; see repro.resilience)",
+    )
+    parent.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="snapshot cadence: every N completed epochs (online) or tasks (sweep)",
+    )
+    parent.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the latest snapshot in --checkpoint (bit-identical; a fresh store runs from the start)",
+    )
+    return parent
+
+
 def _alloc_flags() -> argparse.ArgumentParser:
     """Parent parser with the allocator flags partition and online share."""
     from .engine.job import ALLOC_METHODS
@@ -714,7 +746,8 @@ def build_parser() -> argparse.ArgumentParser:
                 seed_help="seed of the random-replacement policy",
                 workers_help="process pool size (never changes the results)",
                 csv_help="write the sweep rows to this CSV file",
-            )
+            ),
+            _checkpoint_flags(),
         ],
     )
     sweep.add_argument("trace_file", help="text trace file (one item label per line)")
@@ -774,6 +807,7 @@ def build_parser() -> argparse.ArgumentParser:
                 csv_help="write per-epoch rows plus a TOTAL row to this CSV file",
             ),
             _alloc_flags(),
+            _checkpoint_flags(),
         ],
     )
     online.add_argument(

@@ -221,6 +221,18 @@ class TenantDistanceStreams:
         check_tenant_ids(tenant_ids, len(self._streams))
         return [self._streams[t].feed(items[tenant_ids == t]) for t in range(len(self._streams))]
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot of every tenant stream's carried state."""
+        return {"streams": [stream.state_dict() for stream in self._streams]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore carried state captured by :meth:`state_dict`."""
+        states = state["streams"]
+        if len(states) != len(self._streams):
+            raise ValueError(f"state holds {len(states)} tenant streams, this provider has {len(self._streams)}")
+        for stream, stream_state in zip(self._streams, states):
+            stream.load_state_dict(stream_state)
+
 
 class PrecomputedTenantDistances:
     """Whole-stream per-tenant stack distances, sliced out chunk by chunk.
@@ -282,3 +294,22 @@ class PrecomputedTenantDistances:
             out.append(distances[cursor : cursor + count])
             self._cursors[tenant] = cursor + count
         return out
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot: just the per-tenant cursors.
+
+        The distance arrays themselves are a deterministic function of the
+        trace, so checkpoints carry only the cursors and a resume recomputes
+        the arrays before seeking back to them.
+        """
+        return {"cursors": [int(c) for c in self._cursors]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore cursors captured by :meth:`state_dict` (bounds-checked)."""
+        cursors = [int(c) for c in state["cursors"]]
+        if len(cursors) != len(self._distances):
+            raise ValueError(f"state holds {len(cursors)} cursors, this provider has {len(self._distances)}")
+        for tenant, (cursor, distances) in enumerate(zip(cursors, self._distances)):
+            if not 0 <= cursor <= distances.size:
+                raise ValueError(f"tenant {tenant} cursor {cursor} outside [0, {distances.size}]")
+        self._cursors = cursors

@@ -101,6 +101,26 @@ class PartitionedLRU:
         total = self.hits + self.misses
         return self.misses / total if total else 0.0
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot: capacities, per-tenant recency stacks, totals."""
+        return {
+            "capacities": list(self._capacities),
+            "entries": [list(entries) for entries in self._entries],
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (order-preserving)."""
+        capacities = [int(c) for c in state["capacities"]]
+        entries = state["entries"]
+        if len(entries) != len(capacities):
+            raise ValueError(f"state holds {len(entries)} partitions for {len(capacities)} capacities")
+        self._capacities = capacities
+        self._entries = [OrderedDict((int(item), None) for item in items) for items in entries]
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+
 
 class LaneSet:
     """Named lane simulators behind one data plane.
@@ -167,3 +187,25 @@ class LaneSet:
     def miss_ratio(self, lane: str) -> float:
         """Overall miss ratio of one lane so far."""
         return self._sims[lane].miss_ratio
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot of every lane plus the distance-provider cursors.
+
+        The distance *arrays* are not carried — they are a deterministic
+        function of the trace, recomputed on resume — only the per-tenant
+        cursors needed to seek the shared provider back to the checkpoint.
+        """
+        state = {"lanes": {name: sim.state_dict() for name, sim in self._sims.items()}}
+        if self._distances is not None:
+            state["distances"] = self._distances.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore lane and cursor state captured by :meth:`state_dict`."""
+        lanes = state["lanes"]
+        if set(lanes) != set(self._sims):
+            raise ValueError(f"state holds lanes {sorted(lanes)}, this set has {sorted(self._sims)}")
+        for name, sim in self._sims.items():
+            sim.load_state_dict(lanes[name])
+        if self._distances is not None:
+            self._distances.load_state_dict(state["distances"])

@@ -21,6 +21,17 @@ conventions are fixed here once:
 ``workers`` is always validated the same way: any integer below 1 is an error
 rather than a silent serial fallback.
 
+Passing a :class:`repro.resilience.RetryPolicy` turns :func:`pool_map` into
+the *resilient* pool: per-task timeouts (a worker killed mid-task — e.g. by
+the OOM killer — previously hung the run or surfaced as a bare
+``MaybeEncodingError``), bounded retries with exponential backoff and
+*seeded* jitter, and a graceful degradation ladder — retry in the pool,
+re-run still-failing tasks inline in the parent, and only then fail with a
+structured :class:`repro.resilience.PoolFailureError` naming every task, its
+attempt count and its cause.  Results are always assembled in task order,
+so the bit-identical merge contract of the golden suite holds no matter
+which attempt finally succeeded.
+
 When a metrics registry is recording (:func:`repro.obs.get_registry`),
 ``pool_map`` additionally times every task.  Workers cannot record into the
 parent's registry (they are separate processes), so each task is wrapped to
@@ -43,6 +54,9 @@ from typing import Any
 import numpy as np
 
 from ..obs import get_registry
+from ..resilience.errors import PoolFailureError, TaskFailure
+from ..resilience.faults import fire as _fire_fault
+from ..resilience.policy import RetryPolicy
 
 __all__ = [
     "check_workers",
@@ -87,15 +101,148 @@ def _timed_call(function: Callable[[Any], Any], task: Any) -> tuple[Any, float]:
     return result, time.perf_counter() - start
 
 
-def pool_map(function: Callable[[Any], Any], tasks: Sequence[Any], *, workers: int = 1) -> list[Any]:
+def _guarded_call(function: Callable[[Any], Any], index: int, attempt: int, task: Any) -> tuple[Any, float]:
+    """One resilient-pool attempt: fire the chaos hook, run the task, time it.
+
+    Runs inside the worker (or inline, for the degradation ladder's last
+    rung).  The ``pool.task`` fault site lets the chaos suite raise, stall or
+    ``SIGKILL`` exactly this task on exactly this attempt.
+    """
+    _fire_fault("pool.task", index, attempt)
+    start = time.perf_counter()
+    result = function(task)
+    return result, time.perf_counter() - start
+
+
+def _abbreviate(task: Any, limit: int = 80) -> str:
+    text = repr(task)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _resilient_map(
+    function: Callable[[Any], Any], tasks: list[Any], *, workers: int, policy: RetryPolicy
+) -> list[Any]:
+    """The resilient fan-out behind ``pool_map(..., policy=...)``.
+
+    Pooled rounds give every still-pending task one attempt each (seeded
+    backoff between rounds); a task whose result does not arrive within
+    ``policy.timeout`` is declared lost — the one observable signature of a
+    worker killed mid-task, whose result will otherwise never arrive.  The
+    pool is ``terminate``\\ d between rounds so a stalled or dead worker
+    cannot hold a slot (or the shutdown) hostage.  Tasks that exhaust their
+    pooled attempts are re-run inline in the parent when
+    ``policy.inline_fallback`` allows; anything still failing raises a
+    :class:`~repro.resilience.errors.PoolFailureError` naming every task,
+    its attempt count and its cause.  Results merge in task order, whatever
+    attempt produced them.
+    """
+    name = getattr(function, "__name__", repr(function))
+    n = len(tasks)
+    results: list[Any] = [None] * n
+    done = [False] * n
+    attempts = [0] * n
+    causes: list[tuple[str, str]] = [("error", "never attempted")] * n
+    degraded: list[int] = []
+    pending = list(range(n))
+
+    while pending and workers > 1:
+        runnable = [i for i in pending if attempts[i] < policy.attempts]
+        if not runnable:
+            break
+        delay = max((policy.delay(i, attempts[i]) for i in runnable if attempts[i] > 0), default=0.0)
+        if delay > 0.0:
+            time.sleep(delay)
+        pool = fork_pool(min(workers, len(runnable)))
+        try:
+            handles = [
+                (i, pool.apply_async(_guarded_call, (function, i, attempts[i] + 1, tasks[i]))) for i in runnable
+            ]
+            for i, handle in handles:
+                attempts[i] += 1
+                try:
+                    results[i] = handle.get(policy.timeout)
+                except multiprocessing.TimeoutError:
+                    causes[i] = (
+                        "timeout",
+                        f"no result within {policy.timeout}s (stalled task or dead/lost worker)",
+                    )
+                except Exception as error:  # the task raised (or its result failed to pickle)
+                    causes[i] = ("error", repr(error))
+                else:
+                    done[i] = True
+        finally:
+            # terminate, not close: close/join would block on stalled or dead workers
+            pool.terminate()
+            pool.join()
+        pending = [i for i in pending if not done[i]]
+
+    for i in pending:
+        if workers > 1:
+            if not policy.inline_fallback:
+                continue
+            degraded.append(i)
+            inline_attempts = 1
+        else:
+            inline_attempts = policy.attempts
+        for _ in range(inline_attempts):
+            if attempts[i] > 0:
+                time.sleep(policy.delay(i, attempts[i]))
+            attempts[i] += 1
+            try:
+                results[i] = _guarded_call(function, i, attempts[i], tasks[i])
+            except Exception as error:
+                causes[i] = ("error", repr(error))
+            else:
+                done[i] = True
+                break
+    pending = [i for i in pending if not done[i]]
+
+    failures = tuple(
+        TaskFailure(index=i, kind=causes[i][0], attempts=attempts[i], cause=causes[i][1], task=_abbreviate(tasks[i]))
+        for i in pending
+    )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("pool.tasks", function=name).add(n)
+        registry.gauge("pool.workers", function=name).set(min(workers, max(n, 1)))
+        retries = sum(max(count - 1, 0) for count in attempts)
+        if retries:
+            registry.counter("pool.retries", function=name).add(retries)
+        if degraded:
+            registry.counter("pool.degraded_inline", function=name).add(len(degraded))
+        if failures:
+            registry.counter("pool.task_failures", function=name).add(len(failures))
+        for index in range(n):  # task order, not completion order: deterministic
+            if done[index]:
+                registry.record_span("pool.task", results[index][1], function=name)
+    if failures:
+        raise PoolFailureError(failures)
+    return [result for result, _ in results]
+
+
+def pool_map(
+    function: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    *,
+    workers: int = 1,
+    policy: RetryPolicy | None = None,
+) -> list[Any]:
     """Map ``function`` over ``tasks``, preserving task order.
 
     Runs inline (no pool) when ``workers == 1`` or there is at most one task;
     otherwise fans out over ``min(workers, len(tasks))`` forked processes.
     ``function`` and every task must be picklable in the pooled case.
+
+    With a :class:`~repro.resilience.policy.RetryPolicy`, the resilient path
+    runs instead: per-task timeouts, bounded retries with seeded backoff,
+    dead/lost-worker detection and an inline degradation rung — still
+    merging results in task order, so a pooled run with retries stays
+    bit-identical to the ``workers=1`` reference.
     """
     workers = check_workers(workers)
     tasks = list(tasks)
+    if policy is not None:
+        return _resilient_map(function, tasks, workers=workers, policy=policy)
     registry = get_registry()
     if registry.enabled:
         name = getattr(function, "__name__", repr(function))
@@ -146,5 +293,13 @@ def published_arrays(arrays: Mapping[str, np.ndarray]):
 def resolve_array(payload: str | np.ndarray) -> np.ndarray:
     """Resolve one task payload: a published-array key, or the array itself."""
     if isinstance(payload, str):
-        return _PUBLISHED[payload]
+        try:
+            return _PUBLISHED[payload]
+        except KeyError:
+            raise KeyError(
+                f"no published array named {payload!r} (published: {sorted(_PUBLISHED) or 'none'}); "
+                "wrap the pool in published_arrays({...}) and keep it open while tasks run — "
+                "only fork-started workers inherit the table copy-on-write, and it is cleared "
+                "when the context exits"
+            ) from None
     return payload

@@ -80,6 +80,16 @@ class PhaseChangeDetector:
         """The curve anchoring the current regime (``None`` before the first observation)."""
         return self._reference
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the detector's regime state (for checkpoint/resume)."""
+        return {"reference": self._reference, "streak": int(self._streak), "changes": int(self.changes)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._reference = state["reference"]
+        self._streak = int(state["streak"])
+        self.changes = int(state["changes"])
+
     def observe(self, curve: MissRatioCurve) -> PhaseObservation:
         """Feed one windowed curve; report its distance and whether a change fired."""
         if self._reference is None:

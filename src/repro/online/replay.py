@@ -39,7 +39,11 @@ from :func:`repro.engine.segments.replay_stops`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import json
+import zlib
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -50,12 +54,23 @@ from ..engine.lanes import LANE_ENGINES, LaneSet, PartitionedLRU
 from ..engine.runner import check_workers, pool_map
 from ..engine.segments import phase_of_last_event, replay_stops
 from ..obs import get_registry, span
+from ..resilience.checkpoint import latest_step, load_checkpoint, write_checkpoint
+from ..resilience.faults import fire as _fire_fault
+from ..resilience.policy import RetryPolicy
 from ..trace.drift import DriftingWorkload
 from .controller import ReallocationController
 from .phases import PhaseChangeDetector
 from .windowed import WindowedShardsSketch, WindowSnapshot, curve_of_snapshot
 
-__all__ = ["OnlineJob", "EpochStats", "ReplayResult", "PartitionedLRU", "run_replay", "REPLAY_ENGINES"]
+__all__ = [
+    "OnlineJob",
+    "EpochStats",
+    "ReplayResult",
+    "PartitionedLRU",
+    "replay_fingerprint",
+    "run_replay",
+    "REPLAY_ENGINES",
+]
 
 #: The selectable replay data planes (see :func:`run_replay`).
 REPLAY_ENGINES: tuple[str, ...] = LANE_ENGINES
@@ -188,6 +203,11 @@ class ReplayResult:
     #: The oracle's per-phase splits (applied at the true phase boundaries);
     #: exposed so benchmarks can re-drive the exact lane schedules.
     oracle_allocations: tuple[tuple[int, ...], ...] = ()
+    #: Tenant-epochs whose windowed profile extraction failed; each one held
+    #: the last-known-good allocation instead of consulting the controller
+    #: (flagged per epoch in the ``online.epochs`` metrics series).  Kept out
+    #: of :meth:`summary` so healthy-run outputs are unchanged.
+    profile_failures: int = 0
 
     @property
     def win_vs_static(self) -> float:
@@ -247,19 +267,66 @@ def _initial_split(num_tenants: int, budget: int, unit: int) -> tuple[int, ...]:
     return tuple((base + (1 if t < extra else 0)) * unit for t in range(num_tenants))
 
 
+def replay_fingerprint(workload: DriftingWorkload, job: OnlineJob, engine: str) -> str:
+    """Stable identity of one logical replay (workload + job + engine).
+
+    Pins a checkpoint store to exactly one run: the job knobs, the engine,
+    the phase boundaries and a CRC of both trace columns all feed a SHA-256,
+    so resuming with *any* different configuration is rejected up front
+    instead of silently continuing somebody else's state.
+    """
+    composed = workload.composed
+    items = np.ascontiguousarray(composed.trace.accesses, dtype=np.int64)
+    ids = np.ascontiguousarray(composed.tenant_ids, dtype=np.int64)
+    basis = {
+        "engine": str(engine),
+        "job": asdict(job),
+        "accesses": int(items.size),
+        "tenants": list(composed.names),
+        "boundaries": [int(b) for b in workload.boundaries],
+        "items_crc": zlib.crc32(items.tobytes()) & 0xFFFFFFFF,
+        "ids_crc": zlib.crc32(ids.tobytes()) & 0xFFFFFFFF,
+    }
+    digest = hashlib.sha256(json.dumps(basis, sort_keys=True).encode("utf-8")).hexdigest()
+    return f"online/1/{digest[:32]}"
+
+
 def run_replay(
-    workload: DriftingWorkload, job: OnlineJob, *, workers: int = 1, engine: str = "batch"
+    workload: DriftingWorkload,
+    job: OnlineJob,
+    *,
+    workers: int = 1,
+    engine: str = "batch",
+    policy: RetryPolicy | None = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> ReplayResult:
     """Replay a drifting workload under static, adaptive and oracle partitioning.
 
     ``engine`` selects the data plane driving the three simulators:
     ``"batch"`` (vectorised kernels, the default) or ``"reference"`` (the
     per-event ``OrderedDict`` loop).  The result is bit-identical either way.
+    ``policy`` (a :class:`repro.resilience.RetryPolicy`) hardens the up-front
+    profile fan-out under the ``reference`` engine: per-task timeouts, bounded
+    retries and an inline fallback instead of a hang when a worker dies.
+
+    With ``checkpoint_dir`` the replay snapshots its full dynamic state every
+    ``checkpoint_every`` completed epochs (atomic, checksummed, fingerprinted
+    — see :mod:`repro.resilience.checkpoint`); a killed run restarted with
+    ``resume=True`` continues from the latest snapshot and produces rows and
+    summaries **bit-identical** to the uninterrupted run (asserted in
+    ``tests/resilience/``).  ``resume=True`` with an empty or absent store
+    simply runs from the start, so the flag is safe to pass unconditionally.
     """
     workers = check_workers(workers)
     if engine not in REPLAY_ENGINES:
         # Fail before the expensive up-front profiling, like OnlineJob does.
         raise ValueError(f"engine must be one of {REPLAY_ENGINES}, got {engine!r}")
+    check_positive("checkpoint_every", checkpoint_every)
+    checkpoint_every = int(checkpoint_every)
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True needs checkpoint_dir= naming the checkpoint store")
     composed = workload.composed
     items = composed.trace.accesses
     ids = composed.tenant_ids
@@ -281,8 +348,8 @@ def run_replay(
                 for p in range(workload.num_phases)
                 for t in range(num_tenants)
             ]
-            static_curves = pool_map(_exact_discretized, static_tasks, workers=workers)
-            phase_curves = pool_map(_exact_discretized, phase_tasks, workers=workers)
+            static_curves = pool_map(_exact_discretized, static_tasks, workers=workers, policy=policy)
+            phase_curves = pool_map(_exact_discretized, phase_tasks, workers=workers, policy=policy)
             distance_arrays = None
         else:
             # The batch data plane: ONE distance pass per tenant yields the static
@@ -323,13 +390,47 @@ def run_replay(
     # there); chunks between stops are processed with batched sketch updates.
     stops, epoch_ends = replay_stops(n, job.epoch, workload.boundaries)
 
+    fingerprint = replay_fingerprint(workload, job, engine) if checkpoint_dir is not None else None
+
     epochs: list[EpochStats] = []
     profiled_references = 0
     reallocations = 0
     phase_changes = 0
+    profile_failures = 0
     epoch_index = 0
     epoch_start = 0
+    position = 0
+    phase = 0
+    settling = False
+    # Last-known-good windowed profile per tenant: an epoch whose extraction
+    # fails for a tenant holds this instead of crashing the replay.
+    held_profiles: list[tuple | None] = [None] * num_tenants
     counters = {"static": [0, 0], "adaptive": [0, 0], "oracle": [0, 0]}  # [hits, misses] this epoch
+
+    if resume and latest_step(checkpoint_dir) is not None:
+        # Checkpoints snapshot at epoch ends only, right after the counters
+        # reset — so the epoch counters are implicitly zero and everything
+        # deterministic (distance arrays, static/oracle profiles, the stop
+        # schedule) was already recomputed above, identically.
+        state = load_checkpoint(checkpoint_dir, fingerprint=fingerprint).state
+        position = int(state["position"])
+        phase = int(state["phase"])
+        settling = bool(state["settling"])
+        epoch_index = int(state["epoch_index"])
+        epoch_start = int(state["epoch_start"])
+        epochs = list(state["epochs"])
+        profiled_references = int(state["profiled_references"])
+        reallocations = int(state["reallocations"])
+        phase_changes = int(state["phase_changes"])
+        profile_failures = int(state["profile_failures"])
+        held_profiles = list(state["held_profiles"])
+        lanes.load_state_dict(state["lanes"])
+        for sketch, sketch_state in zip(sketches, state["sketches"]):
+            sketch.load_state_dict(sketch_state)
+        for detector, detector_state in zip(detectors, state["detectors"]):
+            detector.load_state_dict(detector_state)
+        controller.evaluations = int(state["controller"]["evaluations"])
+        controller.applications = int(state["controller"]["applications"])
 
     def run_chunk(start: int, end: int) -> None:
         """Feed events ``start .. end`` to all three simulators and the sketches."""
@@ -344,11 +445,10 @@ def run_replay(
             # tenant that goes quiet drains out of its own window.
             sketches[t].advance(int(chunk_items.size - tenant_items.size))
 
-    position = 0
-    phase = 0
-    settling = False
     with span("online.replay", engine=engine):
         for stop in stops:
+            if stop <= position:  # already replayed before the resume point
+                continue
             run_chunk(position, stop)
             position = stop
             if phase + 1 < workload.num_phases and position >= workload.boundaries[phase + 1]:
@@ -364,12 +464,27 @@ def run_replay(
             # the heavy up-front exact profiling above.
             snapshots = [sketch.snapshot() for sketch in sketches]
             profiled_references += sum(snap.sampled for snap in snapshots)
-            profiles = [_windowed_profile((snap, budget, unit)) for snap in snapshots]
+            profiles = []
+            failed: set[int] = set()
+            for t, snap in enumerate(snapshots):
+                try:
+                    _fire_fault("online.profile", t)
+                    profile = _windowed_profile((snap, budget, unit))
+                except Exception:
+                    # Degrade, never crash: hold the tenant's last-known-good
+                    # profile (idle demand before any succeeded) and skip the
+                    # controller below so the allocation stays put this epoch.
+                    failed.add(t)
+                    profile = held_profiles[t] if held_profiles[t] is not None else (None, idle_curve(unit))
+                else:
+                    held_profiles[t] = profile
+                profiles.append(profile)
+            profile_failures += len(failed)
             window_curves = [discretized for _curve, discretized in profiles]
             distance = 0.0
             changed = False
             for t, (curve, _discretized) in enumerate(profiles):
-                if curve is None:
+                if curve is None or t in failed:
                     continue
                 observation = detectors[t].observe(curve)
                 distance = max(distance, observation.distance)
@@ -385,7 +500,7 @@ def run_replay(
             moved_blocks = 0
             predicted_gain = 0.0
             move_penalty = 0.0
-            if changed or settling or epoch_index % job.realloc_epochs == 0:
+            if not failed and (changed or settling or epoch_index % job.realloc_epochs == 0):
                 decision = controller.decide(
                     window_curves,
                     lanes.capacities("adaptive"),
@@ -442,6 +557,7 @@ def run_replay(
                     sketch_sampled=sum(snap.sampled for snap in snapshots),
                     gain=predicted_gain,
                     penalty=move_penalty,
+                    profile_failures=len(failed),
                 )
                 if changed:
                     registry.counter("online.phase_changes").inc()
@@ -453,6 +569,31 @@ def run_replay(
             epoch_start = position
             for key in counters:
                 counters[key] = [0, 0]
+
+            if checkpoint_dir is not None and epoch_index % checkpoint_every == 0:
+                with span("online.checkpoint", engine=engine):
+                    state = {
+                        "position": position,
+                        "phase": phase,
+                        "settling": settling,
+                        "epoch_index": epoch_index,
+                        "epoch_start": epoch_start,
+                        "epochs": list(epochs),
+                        "profiled_references": profiled_references,
+                        "reallocations": reallocations,
+                        "phase_changes": phase_changes,
+                        "profile_failures": profile_failures,
+                        "held_profiles": list(held_profiles),
+                        "lanes": lanes.state_dict(),
+                        "sketches": [sketch.state_dict() for sketch in sketches],
+                        "detectors": [detector.state_dict() for detector in detectors],
+                        "controller": {
+                            "evaluations": controller.evaluations,
+                            "applications": controller.applications,
+                        },
+                    }
+                    write_checkpoint(checkpoint_dir, epoch_index, state, fingerprint=fingerprint, command="online")
+                _fire_fault("online.checkpoint", epoch_index)
 
     registry = get_registry()
     registry.counter("online.events", engine=engine).add(n)
@@ -473,4 +614,5 @@ def run_replay(
         phase_changes=phase_changes,
         profiled_references=profiled_references,
         oracle_allocations=tuple(tuple(a) for a in oracle_allocations),
+        profile_failures=profile_failures,
     )

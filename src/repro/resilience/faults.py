@@ -1,0 +1,246 @@
+"""Deterministic fault injection: seeded chaos for every recovery path.
+
+A :class:`FaultPlan` is a frozen list of :class:`FaultSpec` triggers —
+*raise a transient error on attempt n of task j*, *kill the worker running
+task j*, *stall task j past its timeout*, *crash the replay after epoch e*
+— installed for the duration of a ``with`` block via :func:`install_faults`.
+Instrumented sites (the resilient pool's task wrapper, the online replay's
+profile extraction and checkpoint hook) call :func:`fire` with their site
+name and index; with no plan installed that is a single ``None`` check.
+
+Fork-first pools inherit the installed plan copy-on-write, so a plan
+installed in the parent fires inside pooled workers too — which is how the
+chaos suite kills a real forked child mid-task, deterministically.
+
+The trace-corruption helpers (:func:`truncate_trace_column`,
+:func:`corrupt_trace_column`) damage memmap trace columns on disk the way
+real incidents do — bytes cut off the end, bits flipped in place — to drive
+the :class:`~repro.resilience.errors.TraceIntegrityError` paths.
+
+Examples
+--------
+>>> plan = FaultPlan((transient("pool.task", 2, attempts=(1,)),))
+>>> with install_faults(plan):
+...     fire("pool.task", 0, attempt=1)   # no spec for task 0: no-op
+...     try:
+...         fire("pool.task", 2, attempt=1)
+...     except FaultInjected as error:
+...         print(error)
+injected fault: transient error at pool.task[2] attempt 1
+>>> fire("pool.task", 2, attempt=1)   # nothing installed outside the block
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "corrupt_trace_column",
+    "fire",
+    "install_faults",
+    "kill",
+    "stall",
+    "transient",
+    "truncate_trace_column",
+]
+
+
+class FaultInjected(RuntimeError):
+    """The transient exception raised by an ``error`` fault (retryable by design)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One trigger: what goes wrong, where, and on which attempts.
+
+    ``site`` names the instrumented location (``"pool.task"``,
+    ``"online.profile"``, ``"online.checkpoint"``), ``index`` the entity at
+    that site (task index, tenant id, epoch index), and ``attempts`` the
+    1-based attempt numbers the fault fires on — sites without retries
+    always call with ``attempt=1``.  ``kind`` is ``"error"`` (raise
+    :class:`FaultInjected`), ``"kill"`` (``SIGKILL`` the current process —
+    inside a forked worker this is the OOM-killer scenario), or ``"stall"``
+    (sleep ``seconds``, driving a task past its timeout).
+    """
+
+    site: str
+    index: int
+    kind: str = "error"
+    attempts: tuple[int, ...] = (1,)
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in ("error", "kill", "stall"):
+            raise ValueError(f"kind must be error|kill|stall, got {self.kind!r}")
+        if not self.attempts:
+            raise ValueError("attempts cannot be empty")
+
+    def matches(self, site: str, index: int, attempt: int) -> bool:
+        """Whether this spec fires at ``site``/``index`` on ``attempt``."""
+        return self.site == site and int(self.index) == int(index) and int(attempt) in self.attempts
+
+
+def transient(site: str, index: int, *, attempts: Sequence[int] = (1,)) -> FaultSpec:
+    """A retryable :class:`FaultInjected` on the given 1-based ``attempts``."""
+    return FaultSpec(site=site, index=int(index), kind="error", attempts=tuple(int(a) for a in attempts))
+
+
+def kill(site: str, index: int, *, attempts: Sequence[int] = (1,)) -> FaultSpec:
+    """``SIGKILL`` the process executing ``site``/``index`` (a dead/lost worker)."""
+    return FaultSpec(site=site, index=int(index), kind="kill", attempts=tuple(int(a) for a in attempts))
+
+
+def stall(site: str, index: int, seconds: float, *, attempts: Sequence[int] = (1,)) -> FaultSpec:
+    """Sleep ``seconds`` at ``site``/``index`` (drives a task past its timeout)."""
+    return FaultSpec(
+        site=site, index=int(index), kind="stall", attempts=tuple(int(a) for a in attempts), seconds=float(seconds)
+    )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen set of fault triggers, installable via :func:`install_faults`."""
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def fire(self, site: str, index: int, attempt: int = 1) -> None:
+        """Trigger every matching spec (raise / kill / stall) for this event."""
+        for spec in self.specs:
+            if not spec.matches(site, index, attempt):
+                continue
+            if spec.kind == "stall":
+                time.sleep(spec.seconds)
+            elif spec.kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            else:
+                raise FaultInjected(f"injected fault: transient error at {site}[{index}] attempt {attempt}")
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        site: str,
+        population: int,
+        *,
+        count: int = 1,
+        kind: str = "error",
+        attempts: Sequence[int] = (1,),
+        seconds: float = 0.0,
+    ) -> "FaultPlan":
+        """A deterministic plan of ``count`` faults over ``population`` indices.
+
+        The victim indices are drawn (without replacement) from
+        ``random.Random(seed)``, so the same seed always injures the same
+        tasks — chaos runs are exactly reproducible.
+        """
+        if population < 1:
+            raise ValueError(f"population must be >= 1, got {population}")
+        count = min(int(count), int(population))
+        victims = random.Random(int(seed)).sample(range(int(population)), count)
+        return cls(
+            tuple(
+                FaultSpec(
+                    site=site,
+                    index=v,
+                    kind=kind,
+                    attempts=tuple(int(a) for a in attempts),
+                    seconds=float(seconds),
+                )
+                for v in sorted(victims)
+            )
+        )
+
+
+#: The currently-installed plan; forked pool children inherit it copy-on-write.
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan currently installed by :func:`install_faults`, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def install_faults(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of the block (test/chaos hook).
+
+    Instrumented sites consult the installed plan through :func:`fire`;
+    nesting replaces the plan and restores the outer one on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def fire(site: str, index: int, attempt: int = 1) -> None:
+    """Trigger the installed plan at one instrumented site (no-op without one)."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(site, index, attempt)
+
+
+# --------------------------------------------------------------------------- #
+# On-disk trace damage (drives the TraceIntegrityError paths)
+# --------------------------------------------------------------------------- #
+def _column_file(path, column: str):
+    from ..trace.streaming import _column_paths
+
+    items_path, tenants_path = _column_paths(path)
+    if column == "items":
+        return items_path
+    if column == "tenants":
+        return tenants_path
+    raise ValueError(f"column must be 'items' or 'tenants', got {column!r}")
+
+
+def truncate_trace_column(path, column: str, *, drop: int = 1):
+    """Cut ``drop`` elements' worth of bytes off the end of one column file.
+
+    Mimics a crash mid-write or a copy that stopped short: the ``.npy``
+    header still promises the full length, the data region no longer
+    delivers it.  Returns the damaged file's path.
+    """
+    import numpy as np
+
+    file = _column_file(path, column)
+    if int(drop) < 1:
+        raise ValueError(f"drop must be >= 1, got {drop}")
+    size = os.path.getsize(file)
+    os.truncate(file, max(size - int(drop) * np.dtype(np.int64).itemsize, 0))
+    return file
+
+
+def corrupt_trace_column(path, column: str, *, seed: int = 0, nbytes: int = 8):
+    """Flip ``nbytes`` deterministic bytes inside one column's data region.
+
+    The file keeps its size and header, so only a checksum can tell — which
+    is exactly what the sidecar manifest's verification is for.  Returns the
+    damaged file's path.
+    """
+    file = _column_file(path, column)
+    size = os.path.getsize(file)
+    header = 128  # .npy v1 header span; the data region starts after it
+    if size <= header:
+        raise ValueError(f"{file} is too small to corrupt past its header")
+    rng = random.Random(int(seed))
+    with open(file, "r+b") as handle:
+        for _ in range(int(nbytes)):
+            offset = rng.randrange(header, size)
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+    return file

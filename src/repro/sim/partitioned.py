@@ -173,6 +173,28 @@ class BatchPartitionedLRU:
         total = self.hits + self.misses
         return self.misses / total if total else 0.0
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot: capacities, occupancies and hit/miss totals."""
+        return {
+            "capacities": list(self._capacities),
+            "occupancies": list(self._occupancies),
+            "hits": int(self.hits),
+            "misses": int(self.misses),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        capacities = [int(c) for c in state["capacities"]]
+        occupancies = [int(o) for o in state["occupancies"]]
+        if len(occupancies) != len(capacities):
+            raise ValueError(f"state holds {len(occupancies)} occupancies for {len(capacities)} capacities")
+        if any(not 0 <= occ <= cap for occ, cap in zip(occupancies, capacities)):
+            raise ValueError("state occupancies must lie within their capacities")
+        self._capacities = capacities
+        self._occupancies = occupancies
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+
 
 def replay_partitioned(
     segments: Iterable[tuple[np.ndarray, np.ndarray]],

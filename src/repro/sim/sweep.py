@@ -28,6 +28,10 @@ is not — its results match simulating the user's actual trace.
 
 from __future__ import annotations
 
+import contextlib
+import hashlib
+import json
+import zlib
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -37,6 +41,9 @@ import numpy as np
 from ..engine.job import check_positive
 from ..engine.runner import check_workers, fork_available, pool_map, published_arrays, resolve_array
 from ..obs import get_registry, span
+from ..resilience.checkpoint import latest_step, load_checkpoint, write_checkpoint
+from ..resilience.faults import fire as _fire_fault
+from ..resilience.policy import RetryPolicy
 from .kernels import (
     check_capacities,
     compact_trace,
@@ -237,27 +244,100 @@ def _tasks_for(job: SweepJob, arrays: dict[str, np.ndarray], distinct: int, work
     return tasks
 
 
-def run_sweep(job: SweepJob, *, workers: int = 1) -> SweepResult:
+def _sweep_fingerprint(job: SweepJob, trace: np.ndarray) -> str:
+    """Stable identity of one logical sweep (job knobs + trace contents).
+
+    Deliberately excludes ``workers``: task *chunking* varies with the worker
+    count, but outcomes are memoized by their ``policy:capacities`` key, so a
+    resume under a different worker count reuses every chunk it recognises
+    and recomputes the rest — the merged result is identical either way.
+    """
+    basis = {
+        "name": job.name,
+        "policies": list(job.policies),
+        "capacities": [int(c) for c in job.capacities],
+        "ways": int(job.ways),
+        "seed": int(job.seed),
+        "accesses": int(trace.size),
+        "trace_crc": zlib.crc32(np.ascontiguousarray(trace, dtype=np.int64).tobytes()) & 0xFFFFFFFF,
+    }
+    digest = hashlib.sha256(json.dumps(basis, sort_keys=True).encode("utf-8")).hexdigest()
+    return f"sweep/1/{digest[:32]}"
+
+
+def _task_key(task: tuple) -> str:
+    """Memoization key of one pool task: its policy and capacity chunk."""
+    policy, caps = task[0], task[1]
+    return f"{policy}:{','.join(str(int(c)) for c in caps)}"
+
+
+def run_sweep(
+    job: SweepJob,
+    *,
+    workers: int = 1,
+    policy: RetryPolicy | None = None,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
+) -> SweepResult:
     """Evaluate every policy of ``job`` over its capacity grid.
 
     ``workers`` fans (policy, capacity-chunk) tasks across forked processes;
     the result is bit-identical for every worker count (asserted in
     ``tests/sim/test_sweep.py``), including the seeded random policy.
+
+    ``policy`` (a :class:`repro.resilience.RetryPolicy`) hardens the pool:
+    per-task timeouts, bounded retries and an inline fallback instead of a
+    hang or a bare pickling error when a worker dies mid-task.
+
+    With ``checkpoint_dir`` finished task outcomes are memoized to disk after
+    every ``checkpoint_every`` completed tasks (atomic, checksummed,
+    fingerprinted); a killed sweep restarted with ``resume=True`` recomputes
+    only the tasks that never finished and merges to the identical result.
+    ``resume=True`` against an empty store simply runs from the start.
     """
     workers = check_workers(workers)
+    check_positive("checkpoint_every", checkpoint_every)
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True needs checkpoint_dir= naming the checkpoint store")
     raw = np.asarray(_load(job))
     dense, distinct = compact_trace(raw)
     arrays = {"dense": dense, "raw": raw.astype(np.int64, copy=False)}
     by_key = workers > 1 and fork_available()
     tasks = _tasks_for(job, arrays, distinct, workers, by_key)
-    if by_key:
-        # Publish the trace arrays through the engine runner so forked
-        # children inherit them copy-on-write instead of pickling the whole
-        # trace through the task queue once per task.
-        with published_arrays(arrays):
-            outcomes = pool_map(_run_task, tasks, workers=workers)
-    else:
-        outcomes = pool_map(_run_task, tasks, workers=workers)
+
+    fingerprint = None
+    by_outcome: dict[str, tuple] = {}
+    if checkpoint_dir is not None:
+        fingerprint = _sweep_fingerprint(job, raw)
+        if resume and latest_step(checkpoint_dir) is not None:
+            by_outcome = dict(load_checkpoint(checkpoint_dir, fingerprint=fingerprint).state["outcomes"])
+    remaining = [task for task in tasks if _task_key(task) not in by_outcome]
+
+    # Publish the trace arrays through the engine runner so forked children
+    # inherit them copy-on-write instead of pickling the whole trace through
+    # the task queue once per task; held open across checkpoint batches.
+    publication = published_arrays(arrays) if by_key else contextlib.nullcontext()
+    with publication:
+        if checkpoint_dir is None:
+            outcomes = pool_map(_run_task, remaining, workers=workers, policy=policy) if remaining else []
+            by_outcome.update(zip(map(_task_key, remaining), outcomes))
+        else:
+            # Batches at least `workers` wide keep the pool saturated even
+            # when checkpoint_every=1 asks for per-task durability.
+            batch_size = max(int(checkpoint_every), workers)
+            completed = len(tasks) - len(remaining)
+            for start in range(0, len(remaining), batch_size):
+                batch = remaining[start : start + batch_size]
+                batch_outcomes = pool_map(_run_task, batch, workers=workers, policy=policy)
+                by_outcome.update(zip(map(_task_key, batch), batch_outcomes))
+                completed += len(batch)
+                with span("sweep.checkpoint"):
+                    write_checkpoint(
+                        checkpoint_dir, completed, {"outcomes": by_outcome}, fingerprint=fingerprint, command="sweep"
+                    )
+                _fire_fault("sweep.checkpoint", completed)
+    outcomes = [by_outcome[_task_key(task)] for task in tasks]
 
     per_policy: dict[str, tuple[list[int], list[int], float]] = {}
     for policy, caps, hits, seconds in outcomes:

@@ -17,10 +17,22 @@ through plain :func:`numpy.load` and external tools as well:
 * :func:`open_memmap_trace` — reopen it read-only, memory-mapped.
 * :func:`as_streaming` — wrap an in-memory trace/array in the same interface
   so consumers are agnostic to where the columns live.
+
+**Integrity.** ``flush`` additionally writes a ``<stem>.manifest.json``
+sidecar recording each column's length, dtype and CRC-32; ``open`` verifies
+the columns against it (and always checks existence, shape and dtype
+agreement) so a truncated or bit-flipped trace fails up front with a
+:class:`~repro.resilience.errors.TraceIntegrityError` naming the file and
+the expected vs. found value — not hours later as an unrelated numpy shape
+error deep in a replay.  Traces written before the sidecar existed still
+open; they simply get the structural checks only.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import zlib
 from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -28,6 +40,7 @@ from pathlib import Path
 import numpy as np
 
 from ..obs import get_registry
+from ..resilience.errors import TraceIntegrityError
 from .trace import Trace
 
 __all__ = [
@@ -36,7 +49,12 @@ __all__ = [
     "as_streaming",
     "create_memmap_trace",
     "open_memmap_trace",
+    "verify_memmap_trace",
+    "write_trace_manifest",
 ]
+
+#: Schema version of the trace sidecar manifest; bumped on incompatible changes.
+TRACE_MANIFEST_SCHEMA = 1
 
 #: Default segment length (references per yielded chunk).
 DEFAULT_SEGMENT: int = 1 << 18
@@ -123,21 +141,157 @@ class StreamingTrace:
         tenant_ids = tenant_ids.astype(np.int64, copy=False)
         stop = int(start) + int(items.size)
         if not 0 <= int(start) <= stop <= len(self):
-            raise ValueError(f"segment [{start}, {stop}) does not fit a {len(self)}-reference trace")
+            backing = f" (backing file {self.items.filename})" if isinstance(self.items, np.memmap) else ""
+            raise ValueError(
+                f"segment [{start}, {stop}) does not fit a {len(self)}-reference trace: "
+                f"need 0 <= start <= stop <= {len(self)}{backing}"
+            )
         self.items[int(start) : stop] = items
         self.tenant_ids[int(start) : stop] = tenant_ids
         return stop
 
     def flush(self) -> None:
-        """Flush memmap-backed columns to disk (no-op for plain arrays)."""
-        for column in (self.items, self.tenant_ids):
-            if isinstance(column, np.memmap):
-                column.flush()
+        """Flush memmap columns to disk and refresh the integrity sidecar.
+
+        No-op for plain in-memory arrays.  For memmap-backed traces the
+        ``<stem>.manifest.json`` sidecar is rewritten after the data lands,
+        so :func:`open_memmap_trace` can verify the columns' length, dtype
+        and CRC-32 the next time the trace is opened.
+        """
+        mapped = [column for column in (self.items, self.tenant_ids) if isinstance(column, np.memmap)]
+        for column in mapped:
+            column.flush()
+        if len(mapped) == 2 and getattr(self.items, "filename", None):
+            write_trace_manifest(_stem_of(Path(self.items.filename)))
 
 
 def _column_paths(path: str | Path) -> tuple[Path, Path]:
     stem = Path(path)
     return stem.with_name(stem.name + ".items.npy"), stem.with_name(stem.name + ".tenants.npy")
+
+
+def _manifest_path(path: str | Path) -> Path:
+    stem = Path(path)
+    return stem.with_name(stem.name + ".manifest.json")
+
+
+def _stem_of(items_path: Path) -> Path:
+    """Recover the trace stem from an ``<stem>.items.npy`` column path."""
+    name = items_path.name
+    suffix = ".items.npy"
+    if not name.endswith(suffix):  # pragma: no cover - only reachable with foreign memmaps
+        raise ValueError(f"{items_path} is not a <stem>{suffix} trace column")
+    return items_path.with_name(name[: -len(suffix)])
+
+
+def _crc32_of(path: Path) -> int:
+    """Streamed CRC-32 of a whole file (1 MiB blocks, nothing fully resident)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            crc = zlib.crc32(block, crc)
+    return crc & 0xFFFFFFFF
+
+
+def write_trace_manifest(path: str | Path) -> Path:
+    """Write the ``<stem>.manifest.json`` integrity sidecar for a trace on disk.
+
+    Records each column file's length, dtype and streamed CRC-32.  Written
+    atomically (tmp file + rename) so a crash mid-write leaves the previous
+    sidecar, never a half-written one.  ``flush`` calls this automatically;
+    it is public so externally produced column files can be sealed too.
+    """
+    columns = {}
+    for name, file in zip(("items", "tenants"), _column_paths(path)):
+        column = np.load(file, mmap_mode="r")  # header only; data stays on disk
+        columns[name] = {
+            "file": file.name,
+            "length": int(column.shape[0]),
+            "dtype": str(column.dtype),
+            "crc32": _crc32_of(file),
+        }
+        del column
+    manifest_path = _manifest_path(path)
+    payload = json.dumps({"schema": TRACE_MANIFEST_SCHEMA, "columns": columns}, indent=2) + "\n"
+    tmp = manifest_path.with_name(manifest_path.name + ".tmp")
+    tmp.write_text(payload, encoding="utf-8")
+    os.replace(tmp, manifest_path)
+    return manifest_path
+
+
+def _verify_against_manifest(path: str | Path) -> None:
+    """Check column files against the sidecar manifest, if one exists."""
+    manifest_path = _manifest_path(path)
+    if not manifest_path.exists():
+        return  # pre-sidecar trace: structural checks only
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise TraceIntegrityError(str(manifest_path), reason=f"unreadable manifest: {error}") from error
+    schema = manifest.get("schema")
+    if schema != TRACE_MANIFEST_SCHEMA:
+        raise TraceIntegrityError(
+            str(manifest_path), reason="manifest schema mismatch", expected=TRACE_MANIFEST_SCHEMA, found=schema
+        )
+    for name, file in zip(("items", "tenants"), _column_paths(path)):
+        recorded = manifest.get("columns", {}).get(name)
+        if recorded is None:
+            raise TraceIntegrityError(str(manifest_path), reason=f"manifest lists no {name!r} column")
+        size = os.path.getsize(file)
+        expected_size = recorded["length"] * np.dtype(recorded["dtype"]).itemsize
+        if size < expected_size:  # cheap truncation check before hashing
+            raise TraceIntegrityError(
+                str(file),
+                reason=f"column file is shorter than its {recorded['length']}-element manifest entry",
+                expected=f">= {expected_size} data bytes",
+                found=f"{size} file bytes",
+            )
+        found = _crc32_of(file)
+        if found != recorded["crc32"]:
+            raise TraceIntegrityError(
+                str(file),
+                reason="column checksum mismatch (file changed since flush)",
+                expected=f"crc32={recorded['crc32']}",
+                found=f"crc32={found}",
+            )
+
+
+def verify_memmap_trace(path: str | Path) -> None:
+    """Run every integrity check on an on-disk trace without opening it for use.
+
+    Raises :class:`~repro.resilience.errors.TraceIntegrityError` on missing
+    column files, unreadable/truncated ``.npy`` payloads, shape or dtype
+    disagreements, and — when the ``<stem>.manifest.json`` sidecar exists —
+    checksum mismatches.  Returns ``None`` when the trace is sound.
+    """
+    items_path, tenants_path = _column_paths(path)
+    for file in (items_path, tenants_path):
+        if not file.exists():
+            raise TraceIntegrityError(str(file), reason="column file is missing")
+    columns = {}
+    for file in (items_path, tenants_path):
+        try:
+            columns[file] = np.load(file, mmap_mode="r")
+        except (ValueError, OSError) as error:
+            raise TraceIntegrityError(str(file), reason=f"unreadable .npy column: {error}") from error
+    items, tenants = columns[items_path], columns[tenants_path]
+    for file, column in columns.items():
+        if column.ndim != 1:
+            raise TraceIntegrityError(
+                str(file), reason="column is not one-dimensional", expected="1-d", found=f"shape {column.shape}"
+            )
+        if not np.issubdtype(column.dtype, np.integer):
+            raise TraceIntegrityError(
+                str(file), reason="column dtype is not integral", expected="integer dtype", found=str(column.dtype)
+            )
+    if items.shape != tenants.shape:
+        raise TraceIntegrityError(
+            str(tenants_path),
+            reason=f"column lengths disagree with {items_path.name}",
+            expected=f"shape {items.shape}",
+            found=f"shape {tenants.shape}",
+        )
+    _verify_against_manifest(path)
 
 
 def create_memmap_trace(path: str | Path, length: int, *, segment: int = DEFAULT_SEGMENT) -> StreamingTrace:
@@ -157,11 +311,23 @@ def create_memmap_trace(path: str | Path, length: int, *, segment: int = DEFAULT
     return StreamingTrace(items=items, tenant_ids=tenants, segment=int(segment))
 
 
-def open_memmap_trace(path: str | Path, *, segment: int = DEFAULT_SEGMENT) -> StreamingTrace:
-    """Reopen a trace written by :func:`create_memmap_trace`, memory-mapped read-only."""
+def open_memmap_trace(path: str | Path, *, segment: int = DEFAULT_SEGMENT, verify: bool = True) -> StreamingTrace:
+    """Reopen a trace written by :func:`create_memmap_trace`, memory-mapped read-only.
+
+    With ``verify`` (the default) the columns are integrity-checked first —
+    existence, readable ``.npy`` payload, shape/dtype agreement, and the
+    sidecar manifest's length/dtype/CRC-32 when one exists — raising
+    :class:`~repro.resilience.errors.TraceIntegrityError` on any damage
+    instead of handing a broken trace to the replay.
+    """
+    if verify:
+        verify_memmap_trace(path)
     items_path, tenants_path = _column_paths(path)
-    items = np.load(items_path, mmap_mode="r")
-    tenants = np.load(tenants_path, mmap_mode="r")
+    try:
+        items = np.load(items_path, mmap_mode="r")
+        tenants = np.load(tenants_path, mmap_mode="r")
+    except (ValueError, OSError) as error:
+        raise TraceIntegrityError(str(items_path), reason=f"unreadable .npy column: {error}") from error
     return StreamingTrace(items=items, tenant_ids=tenants, segment=int(segment))
 
 

@@ -1,0 +1,149 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+import numpy as np
+
+from repro.resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    corrupt_trace_column,
+    fire,
+    install_faults,
+    kill,
+    stall,
+    transient,
+    truncate_trace_column,
+)
+from repro.trace.streaming import create_memmap_trace
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(site="pool.task", index=0, kind="explode")
+
+    def test_rejects_empty_attempts(self):
+        with pytest.raises(ValueError, match="attempts"):
+            FaultSpec(site="pool.task", index=0, attempts=())
+
+    def test_matches_site_index_and_attempt(self):
+        spec = FaultSpec(site="pool.task", index=3, attempts=(1, 2))
+        assert spec.matches("pool.task", 3, 1)
+        assert spec.matches("pool.task", 3, 2)
+        assert not spec.matches("pool.task", 3, 3)
+        assert not spec.matches("pool.task", 4, 1)
+        assert not spec.matches("online.profile", 3, 1)
+
+    def test_builders(self):
+        assert transient("s", 1).kind == "error"
+        assert kill("s", 1).kind == "kill"
+        stalled = stall("s", 1, 0.25)
+        assert stalled.kind == "stall"
+        assert stalled.seconds == 0.25
+
+
+class TestFaultPlan:
+    def test_error_fault_raises_fault_injected(self):
+        plan = FaultPlan((transient("site", 2),))
+        plan.fire("site", 0)  # no spec: no-op
+        with pytest.raises(FaultInjected, match=r"site\[2\] attempt 1"):
+            plan.fire("site", 2)
+
+    def test_stall_fault_sleeps(self):
+        plan = FaultPlan((stall("site", 0, 0.05),))
+        start = time.perf_counter()
+        plan.fire("site", 0)
+        assert time.perf_counter() - start >= 0.05
+
+    def test_seeded_plan_is_deterministic(self):
+        a = FaultPlan.seeded(11, "pool.task", population=20, count=3)
+        b = FaultPlan.seeded(11, "pool.task", population=20, count=3)
+        assert a == b
+        assert len(a.specs) == 3
+        assert all(0 <= spec.index < 20 for spec in a.specs)
+        assert FaultPlan.seeded(12, "pool.task", population=20, count=3) != a
+
+    def test_seeded_count_clamped_to_population(self):
+        plan = FaultPlan.seeded(0, "s", population=2, count=10)
+        assert len(plan.specs) == 2
+
+    def test_seeded_rejects_empty_population(self):
+        with pytest.raises(ValueError, match="population"):
+            FaultPlan.seeded(0, "s", population=0)
+
+
+class TestInstallFaults:
+    def test_fire_is_noop_without_plan(self):
+        assert active_plan() is None
+        fire("anywhere", 0)  # must not raise
+
+    def test_install_and_restore(self):
+        plan = FaultPlan((transient("s", 0),))
+        with install_faults(plan):
+            assert active_plan() is plan
+            with pytest.raises(FaultInjected):
+                fire("s", 0)
+        assert active_plan() is None
+        fire("s", 0)  # uninstalled again
+
+    def test_nesting_restores_outer_plan(self):
+        outer = FaultPlan((transient("s", 0),))
+        inner = FaultPlan((transient("s", 1),))
+        with install_faults(outer):
+            with install_faults(inner):
+                fire("s", 0)  # outer plan replaced: no-op
+                with pytest.raises(FaultInjected):
+                    fire("s", 1)
+            with pytest.raises(FaultInjected):
+                fire("s", 0)
+
+
+class TestTraceDamage:
+    def _write_trace(self, tmp_path):
+        tmp_path.mkdir(parents=True, exist_ok=True)
+        stem = tmp_path / "trace"
+        trace = create_memmap_trace(stem, 64)
+        trace.fill(0, np.arange(64), np.zeros(64, dtype=np.int64))
+        trace.flush()
+        return stem
+
+    def test_truncate_shortens_the_column_file(self, tmp_path):
+        stem = self._write_trace(tmp_path)
+        file = stem.with_name("trace.items.npy")
+        before = os.path.getsize(file)
+        damaged = truncate_trace_column(stem, "items", drop=4)
+        assert damaged == file
+        assert os.path.getsize(file) == before - 4 * 8
+
+    def test_corrupt_keeps_size_but_changes_bytes(self, tmp_path):
+        stem = self._write_trace(tmp_path)
+        file = stem.with_name("trace.tenants.npy")
+        before = file.read_bytes()
+        corrupt_trace_column(stem, "tenants", seed=3)
+        after = file.read_bytes()
+        assert len(after) == len(before)
+        assert after != before
+        # header untouched: only the data region is damaged
+        assert after[:128] == before[:128]
+
+    def test_corrupt_is_deterministic(self, tmp_path):
+        stem_a = self._write_trace(tmp_path / "a")
+        stem_b = self._write_trace(tmp_path / "b")
+        corrupt_trace_column(stem_a, "items", seed=9)
+        corrupt_trace_column(stem_b, "items", seed=9)
+        a = stem_a.with_name("trace.items.npy").read_bytes()
+        b = stem_b.with_name("trace.items.npy").read_bytes()
+        assert a == b
+
+    def test_rejects_unknown_column(self, tmp_path):
+        stem = self._write_trace(tmp_path)
+        with pytest.raises(ValueError, match="column"):
+            truncate_trace_column(stem, "bogus")

@@ -1,0 +1,204 @@
+"""Checkpoint/resume chaos tests: killed runs continue bit-identically.
+
+The headline guarantee of the resilience layer: a replay (or sweep) that is
+interrupted — by an injected crash or a real ``SIGKILL`` — and restarted
+with ``resume=True`` produces rows, summaries and allocations **exactly**
+equal to the uninterrupted ``workers=1`` run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import numpy as np
+
+from repro.online.replay import OnlineJob, replay_fingerprint, run_replay
+from repro.resilience import CheckpointError
+from repro.resilience.faults import FaultInjected, FaultPlan, FaultSpec, install_faults, transient
+from repro.sim.sweep import SweepJob, run_sweep
+from repro.trace.drift import three_phase_pair
+
+LENGTH_PER_PHASE = 2_000
+JOB = OnlineJob(budget=240, window=1_000, epoch=400, method="hull", rate=0.5, move_cost=1.0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return three_phase_pair(LENGTH_PER_PHASE, seed=7)
+
+
+@pytest.fixture(scope="module")
+def baseline(workload):
+    """The uninterrupted workers=1 reference replay."""
+    return run_replay(workload, JOB)
+
+
+class TestReplayCheckpointing:
+    def test_checkpointing_never_changes_the_result(self, workload, baseline, tmp_path):
+        checkpointed = run_replay(workload, JOB, checkpoint_dir=tmp_path, checkpoint_every=2)
+        assert checkpointed == baseline
+
+    def test_resume_from_complete_store_matches(self, workload, baseline, tmp_path):
+        run_replay(workload, JOB, checkpoint_dir=tmp_path)
+        resumed = run_replay(workload, JOB, checkpoint_dir=tmp_path, resume=True)
+        assert resumed.rows() == baseline.rows()
+        assert resumed.summary() == baseline.summary()
+        assert resumed.final_allocation == baseline.final_allocation
+
+    def test_crash_then_resume_is_bit_identical(self, workload, baseline, tmp_path):
+        # Crash right after the 3rd epoch's checkpoint lands on disk.
+        plan = FaultPlan((FaultSpec(site="online.checkpoint", index=3, kind="error"),))
+        with install_faults(plan), pytest.raises(FaultInjected):
+            run_replay(workload, JOB, checkpoint_dir=tmp_path, checkpoint_every=1)
+        resumed = run_replay(workload, JOB, checkpoint_dir=tmp_path, resume=True)
+        assert resumed.epochs == baseline.epochs
+        assert resumed.summary() == baseline.summary()
+        assert resumed == baseline
+
+    def test_resume_is_engine_faithful(self, workload, tmp_path):
+        reference = run_replay(workload, JOB, engine="reference")
+        plan = FaultPlan((FaultSpec(site="online.checkpoint", index=2, kind="error"),))
+        with install_faults(plan), pytest.raises(FaultInjected):
+            run_replay(workload, JOB, engine="reference", checkpoint_dir=tmp_path, checkpoint_every=1)
+        resumed = run_replay(workload, JOB, engine="reference", checkpoint_dir=tmp_path, resume=True)
+        assert resumed == reference
+
+    def test_resume_against_empty_store_runs_fresh(self, workload, baseline, tmp_path):
+        resumed = run_replay(workload, JOB, checkpoint_dir=tmp_path, resume=True)
+        assert resumed == baseline
+
+    def test_resume_needs_a_directory(self, workload):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run_replay(workload, JOB, resume=True)
+
+    def test_wrong_job_is_rejected(self, workload, tmp_path):
+        run_replay(workload, JOB, checkpoint_dir=tmp_path)
+        other = OnlineJob(budget=250, window=1_000, epoch=400)
+        with pytest.raises(CheckpointError, match="different run"):
+            run_replay(workload, other, checkpoint_dir=tmp_path, resume=True)
+
+    def test_fingerprint_separates_engines_and_jobs(self, workload):
+        batch = replay_fingerprint(workload, JOB, "batch")
+        assert batch == replay_fingerprint(workload, JOB, "batch")
+        assert batch != replay_fingerprint(workload, JOB, "reference")
+        assert batch != replay_fingerprint(workload, OnlineJob(budget=241, window=1_000, epoch=400), "batch")
+
+
+class TestReplaySigkill:
+    def test_sigkilled_replay_resumes_bit_identical(self, workload, baseline, tmp_path):
+        """A real SIGKILL (self-inflicted, deterministically, after the 3rd
+        checkpoint write) — then an in-process resume must match the
+        uninterrupted reference exactly."""
+        script = textwrap.dedent(
+            f"""
+            import sys
+            from repro.online.replay import OnlineJob, run_replay
+            from repro.resilience.faults import FaultPlan, FaultSpec, install_faults
+            from repro.trace.drift import three_phase_pair
+
+            workload = three_phase_pair({LENGTH_PER_PHASE}, seed=7)
+            job = OnlineJob(budget=240, window=1000, epoch=400, method="hull", rate=0.5, move_cost=1.0)
+            plan = FaultPlan((FaultSpec(site="online.checkpoint", index=3, kind="kill"),))
+            with install_faults(plan):
+                run_replay(workload, job, checkpoint_dir=sys.argv[1], checkpoint_every=1)
+            raise SystemExit("the kill fault never fired")
+            """
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        assert list(tmp_path.glob("step-*.ckpt")), "no checkpoint survived the kill"
+        resumed = run_replay(workload, JOB, checkpoint_dir=tmp_path, resume=True)
+        assert resumed == baseline
+
+
+class TestProfileHold:
+    def test_failed_extraction_holds_last_known_good(self, workload, baseline):
+        # Tenant 1's profile extraction fails on every epoch after the first
+        # two; the replay must finish, hold the allocation on failed epochs,
+        # and count every failure.
+        epochs = len(baseline.epochs)
+        plan = FaultPlan((transient("online.profile", 1),))
+        with install_faults(plan):
+            held = run_replay(workload, JOB)
+        assert held.profile_failures == epochs
+        assert held.accesses == baseline.accesses
+        # the scoreboard stays schema-stable: failures are not a summary key
+        assert "profile_failures" not in held.summary()
+        assert set(held.epochs[0].row()) == set(baseline.epochs[0].row())
+
+    def test_failed_epochs_never_reallocate(self, workload):
+        plan = FaultPlan((transient("online.profile", 0),))  # every epoch, tenant 0
+        with install_faults(plan):
+            held = run_replay(workload, JOB)
+        # no controller consults at all: the initial split never moves
+        assert held.reallocations == 0
+        assert all(not epoch.reallocated for epoch in held.epochs)
+
+    def test_metrics_series_flags_failed_epochs(self, workload):
+        from repro.obs import MetricsRegistry, recording
+
+        registry = MetricsRegistry()
+        plan = FaultPlan((transient("online.profile", 1),))
+        with recording(registry), install_faults(plan):
+            run_replay(workload, JOB)
+        rows = [r["row"] for r in registry.records() if r.get("type") == "series" and r.get("name") == "online.epochs"]
+        assert rows
+        assert all(row["profile_failures"] == 1 for row in rows)
+
+
+class TestSweepResume:
+    def _job(self):
+        rng = np.random.default_rng(3)
+        trace = rng.zipf(1.4, size=10_000) % 500
+        return SweepJob(
+            trace=trace,
+            name="chaos",
+            policies=("lru", "fifo", "random", "set-associative"),
+            capacities=tuple(range(8, 129, 8)),
+            ways=4,
+            seed=5,
+        )
+
+    def test_interrupted_sweep_resumes_identically(self, tmp_path):
+        job = self._job()
+        reference = run_sweep(job)
+        plan = FaultPlan((FaultSpec(site="sweep.checkpoint", index=2, kind="error"),))
+        with install_faults(plan), pytest.raises(FaultInjected):
+            run_sweep(job, checkpoint_dir=tmp_path, checkpoint_every=1)
+        resumed = run_sweep(job, checkpoint_dir=tmp_path, resume=True)
+        for policy in job.policies:
+            assert resumed[policy].capacities == reference[policy].capacities
+            assert resumed[policy].hits == reference[policy].hits
+
+    def test_resume_under_different_worker_count(self, tmp_path):
+        job = self._job()
+        reference = run_sweep(job)
+        plan = FaultPlan((FaultSpec(site="sweep.checkpoint", index=1, kind="error"),))
+        with install_faults(plan), pytest.raises(FaultInjected):
+            run_sweep(job, checkpoint_dir=tmp_path, checkpoint_every=1)
+        resumed = run_sweep(job, workers=2, checkpoint_dir=tmp_path, resume=True)
+        for policy in job.policies:
+            assert resumed[policy].hits == reference[policy].hits
+
+    def test_wrong_sweep_is_rejected(self, tmp_path):
+        job = self._job()
+        run_sweep(job, checkpoint_dir=tmp_path)
+        other = SweepJob(trace=np.arange(100), name="chaos", policies=("lru",), capacities=(8, 16))
+        with pytest.raises(CheckpointError, match="different run"):
+            run_sweep(other, checkpoint_dir=tmp_path, resume=True)

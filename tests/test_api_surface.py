@@ -33,6 +33,7 @@ PUBLIC_MODULES = (
     "repro.obs",
     "repro.online",
     "repro.profiling",
+    "repro.resilience",
     "repro.sim",
     "repro.trace",
 )

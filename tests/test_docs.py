@@ -45,6 +45,7 @@ DOCTESTED_MODULES = [
     "repro.trace.drift",
     "repro.analysis",
     "repro.obs",
+    "repro.resilience",
 ]
 
 
